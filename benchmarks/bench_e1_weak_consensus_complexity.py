@@ -1,0 +1,41 @@
+"""E1 — Theorem 2: correct weak consensus vs the t²/32 floor.
+
+Regenerates the message-complexity-vs-t series for the correct
+(broadcast-based) weak consensus protocol and asserts the paper's shape:
+every point sits at or above the floor, and the growth is (at least)
+quadratic on the proportional-population grid.
+"""
+
+from conftest import write_report
+
+from repro.analysis.complexity import sweep
+from repro.analysis.fitting import fit_sweep, is_superquadratic
+from repro.analysis.tables import render_sweep
+from repro.experiments import run_e1
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+
+
+def bench_e1_floor_series(benchmark, report_dir):
+    result = benchmark(run_e1, 16)
+    assert result.data["floor_violations"] == []
+    write_report(report_dir, "e1_weak_consensus_floor", result.report)
+
+
+def bench_e1_quadratic_shape_proportional_grid(benchmark, report_dir):
+    """On n = 2t the fitted exponent must reach ~2 (Ω(t²) visible)."""
+
+    def kernel():
+        return sweep(
+            lambda n, t: broadcast_weak_consensus_spec(n, t),
+            [(2 * t, t) for t in (4, 8, 12, 16)],
+            include_mixed=False,
+        )
+
+    points = benchmark(kernel)
+    fit = fit_sweep(points)
+    assert is_superquadratic(fit)
+    write_report(
+        report_dir,
+        "e1_quadratic_shape",
+        render_sweep(points) + f"\nfit: {fit.render()}",
+    )

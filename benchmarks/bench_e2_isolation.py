@@ -1,0 +1,15 @@
+"""E2 — Figure 1: divergence bands under group isolation."""
+
+from conftest import write_report
+
+from repro.experiments import run_e2
+
+
+def bench_e2_divergence_profile(benchmark, report_dir):
+    result = benchmark(run_e2)
+    isolate_at = result.data["isolate_at"]
+    # Figure 1's bands: the isolated group's sends deviate from R+1 at
+    # the earliest; everyone else one propagation step later.
+    assert result.data["in_group_divergence"] >= isolate_at + 1
+    assert result.data["outside_divergence"] >= isolate_at + 2
+    write_report(report_dir, "e2_isolation_bands", result.report)

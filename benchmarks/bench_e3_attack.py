@@ -1,0 +1,40 @@
+"""E3 — Lemmas 2–5 / Figure 2: break every sub-quadratic cheater.
+
+The benchmark kernel is the full attack pipeline; each outcome carries a
+from-scratch-verified violation witness.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.experiments import run_e3
+from repro.lowerbound.driver import attack_weak_consensus
+from repro.protocols.subquadratic import (
+    committee_cheater_spec,
+    leader_echo_spec,
+    ring_token_spec,
+    silent_cheater_spec,
+)
+
+
+def bench_e3_full_sweep(benchmark, report_dir):
+    result = benchmark(run_e3, (8, 16))
+    assert result.data["broken"] == len(result.data["outcomes"])
+    write_report(report_dir, "e3_attack_sweep", result.report)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        silent_cheater_spec,
+        leader_echo_spec,
+        committee_cheater_spec,
+        ring_token_spec,
+    ],
+    ids=["silent", "leader-echo", "committee", "ring-token"],
+)
+def bench_e3_single_attack(benchmark, builder):
+    """Per-cheater attack latency at the paper's t = 8 regime."""
+    spec = builder(16, 8)
+    outcome = benchmark(attack_weak_consensus, spec)
+    assert outcome.found_violation

@@ -1,0 +1,80 @@
+"""E5 — Theorem 4: the solvability classification + Algorithm-2 runs."""
+
+from conftest import write_report
+
+from repro.experiments import run_e5
+from repro.solvability.theorem import classify
+from repro.validity.standard import interactive_consistency_problem
+
+
+def bench_e5_classification_table(benchmark, report_dir):
+    result = benchmark(run_e5, 4, 1)
+    for row in result.data["rows"]:
+        _, trivial, cc, auth, _, solved = row
+        if trivial == "N":
+            assert cc == "Y" and auth == "Y" and solved == "yes"
+    write_report(report_dir, "e5_solvability", result.report)
+
+
+def bench_e5_classify_ic(benchmark):
+    """The heaviest classifier input: IC's output domain is |V|^n."""
+    problem = interactive_consistency_problem(4, 1)
+    report = benchmark(classify, problem)
+    assert report.cc.holds
+    assert not report.trivial
+
+
+def bench_e5_resilience_grid(benchmark, report_dir):
+    """Theorem 4 across (n, t): where each branch flips.
+
+    Shows both thresholds at once: strong consensus loses CC at
+    n <= 2t (Theorem 5), and *every* problem loses the unauthenticated
+    branch at n <= 3t (Lemma 10) while keeping the authenticated one.
+    """
+    from repro.analysis.tables import render_table
+    from repro.validity.standard import (
+        strong_consensus_problem,
+        weak_consensus_problem,
+    )
+
+    grid = [(4, 1), (7, 2), (5, 2), (6, 2), (4, 2)]
+
+    def kernel():
+        rows = []
+        for n, t in grid:
+            for builder, label in (
+                (weak_consensus_problem, "weak"),
+                (strong_consensus_problem, "strong"),
+            ):
+                report = classify(builder(n, t))
+                rows.append(
+                    (
+                        label,
+                        n,
+                        t,
+                        "Y" if report.cc.holds else "N",
+                        "Y" if report.authenticated_solvable else "N",
+                        "Y" if report.unauthenticated_solvable else "N",
+                    )
+                )
+        return rows
+
+    rows = benchmark(kernel)
+    by_key = {
+        (label, n, t): (cc, auth, unauth)
+        for label, n, t, cc, auth, unauth in rows
+    }
+    # Weak consensus: always CC; unauth only when n > 3t.
+    assert by_key[("weak", 4, 1)] == ("Y", "Y", "Y")
+    assert by_key[("weak", 6, 2)] == ("Y", "Y", "N")
+    # Strong consensus: CC dies at n <= 2t.
+    assert by_key[("strong", 4, 2)] == ("N", "N", "N")
+    assert by_key[("strong", 5, 2)][0] == "Y"
+    write_report(
+        report_dir,
+        "e5_resilience_grid",
+        "E5b — Theorem 4 branches across the (n, t) grid\n"
+        + render_table(
+            ("problem", "n", "t", "CC", "auth", "unauth"), rows
+        ),
+    )

@@ -1,0 +1,18 @@
+"""E6 — Theorem 5: the n > 2t boundary for strong consensus."""
+
+from conftest import write_report
+
+from repro.experiments import run_e6
+from repro.solvability.strong_consensus import strong_consensus_cc
+
+
+def bench_e6_boundary_grid(benchmark, report_dir):
+    result = benchmark(run_e6, 7)
+    assert result.data["mismatches"] == []
+    write_report(report_dir, "e6_strong_boundary", result.report)
+
+
+def bench_e6_single_cc_decision(benchmark):
+    """CC decision cost at the largest grid point (n=7, t=3)."""
+    holds = benchmark(strong_consensus_cc, 7, 3)
+    assert holds  # 7 > 6

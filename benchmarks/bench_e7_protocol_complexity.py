@@ -1,0 +1,33 @@
+"""E7 — Dolev–Reischuk context: measured protocol complexities."""
+
+from conftest import write_report
+
+from repro.analysis.fitting import fit_sweep
+from repro.experiments import run_e7
+from repro.protocols.dolev_strong import dolev_strong_spec
+from repro.protocols.phase_king import phase_king_spec
+
+
+def bench_e7_sweeps(benchmark, report_dir):
+    result = benchmark(run_e7, 8)
+    ds_fit = fit_sweep(result.data["points"]["dolev-strong"])
+    assert ds_fit.exponent >= 1.8
+    assert all(
+        point.worst_messages >= point.floor
+        for point in result.data["points"]["dolev-strong"]
+    )
+    write_report(report_dir, "e7_protocol_complexity", result.report)
+
+
+def bench_e7_dolev_strong_run(benchmark):
+    """Single Dolev–Strong execution latency at n=16, t=8."""
+    spec = dolev_strong_spec(16, 8)
+    execution = benchmark(spec.run_uniform, 0)
+    assert set(execution.correct_decisions().values()) == {0}
+
+
+def bench_e7_phase_king_run(benchmark):
+    """Single Phase-King execution latency at n=13, t=4."""
+    spec = phase_king_spec(13, 4)
+    execution = benchmark(spec.run_uniform, 1)
+    assert set(execution.correct_decisions().values()) == {1}

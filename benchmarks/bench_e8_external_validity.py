@@ -1,0 +1,18 @@
+"""E8 — Corollary 1: external-validity agreement under the bound."""
+
+from conftest import write_report
+
+from repro.experiments import run_e8
+
+
+def bench_e8_corollary1(benchmark, report_dir):
+    result = benchmark(run_e8, 6, 2)
+    assert result.data["decision_a"] != result.data["decision_b"]
+    assert result.data["messages"] >= result.data["floor"]
+    assert set(
+        result.data["weak_zero"].correct_decisions().values()
+    ) == {0}
+    assert set(
+        result.data["weak_one"].correct_decisions().values()
+    ) == {1}
+    write_report(report_dir, "e8_external_validity", result.report)

@@ -1,0 +1,54 @@
+"""E9/E10 — Lemmas 15 & 16: swap/merge construction throughput.
+
+Benchmarks the two proof constructions with their full machine-checking
+enabled — the cost shown here is the cost of *verifying the paper* on
+each instance, not just of transforming traces.
+"""
+
+from conftest import write_report
+
+from repro.experiments import run_e9
+from repro.lowerbound.partition import canonical_partition
+from repro.omission.isolation import isolate_group
+from repro.omission.merge import MergeSpec, merge
+from repro.omission.swap import swap_omission_checked
+from repro.protocols.subquadratic import leader_echo_spec
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+
+
+def bench_e9_suite(benchmark, report_dir):
+    result = benchmark(run_e9, 10, 4, 4)
+    assert result.data["swap_checks"] > 0
+    assert result.data["merge_checks"] > 0
+    write_report(report_dir, "e9_swap_merge", result.report)
+
+
+def bench_e9_single_checked_swap(benchmark):
+    spec = leader_echo_spec(12, 6)
+    execution = spec.run_uniform(0, isolate_group({11}, 1))
+    result = benchmark(swap_omission_checked, execution, 11)
+    assert 11 not in result.execution.faulty
+
+
+def bench_e10_single_checked_merge(benchmark):
+    n, t = 10, 4
+    spec = broadcast_weak_consensus_spec(n, t)
+    partition = canonical_partition(n, t)
+    exec_b = spec.run_uniform(
+        0, isolate_group(partition.group_b, 2)
+    )
+    exec_c = spec.run_uniform(
+        0, isolate_group(partition.group_c, 3)
+    )
+    merge_spec = MergeSpec(
+        group_b=partition.group_b,
+        group_c=partition.group_c,
+        round_b=2,
+        round_c=3,
+    )
+
+    def kernel():
+        return merge(merge_spec, exec_b, exec_c, spec.factory)
+
+    merged = benchmark(kernel)
+    assert merged.faulty == partition.group_b | partition.group_c

@@ -1,0 +1,42 @@
+"""Simulator-core throughput benchmarks (not a paper experiment).
+
+Tracks the cost of the round loop, the Appendix-A validity checker and
+the replay checker — the fixed costs every experiment pays.  Useful as a
+performance-regression canary for the library itself.
+"""
+
+from repro.protocols.dolev_strong import dolev_strong_spec
+from repro.protocols.phase_king import phase_king_spec
+from repro.sim.execution import check_execution, check_transitions
+
+
+def bench_sim_round_loop_phase_king(benchmark):
+    """Full Phase-King execution at n=13, t=4 (15 rounds, all-to-all)."""
+    spec = phase_king_spec(13, 4)
+    execution = benchmark(
+        lambda: spec.run_uniform(1, check=False)
+    )
+    assert execution.decision(0) == 1
+
+
+def bench_sim_validity_checker(benchmark):
+    """check_execution on a recorded Phase-King trace."""
+    spec = phase_king_spec(13, 4)
+    execution = spec.run_uniform(1, check=False)
+    benchmark(check_execution, execution)
+
+
+def bench_sim_replay_checker(benchmark):
+    """check_transitions (full deterministic replay) on the same trace."""
+    spec = phase_king_spec(13, 4)
+    execution = spec.run_uniform(1, check=False)
+    benchmark(check_transitions, execution, spec.factory)
+
+
+def bench_sim_signature_heavy_run(benchmark):
+    """Dolev–Strong at n=16, t=8: HMAC signing/verification dominated."""
+    spec = dolev_strong_spec(16, 8)
+    execution = benchmark(
+        lambda: spec.run_uniform("v", check=False)
+    )
+    assert execution.decision(3) == "v"

@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every ``bench_*`` module regenerates one DESIGN.md experiment (the
+paper's "tables and figures"): the benchmarked callable *is* the
+experiment kernel, and each bench asserts the experiment's shape claim so
+a timing run doubles as a correctness run.  Reports are written to
+``benchmarks/reports/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    """Directory collecting the rendered experiment reports."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def write_report(directory: pathlib.Path, name: str, text: str) -> None:
+    """Persist one experiment's rendered report."""
+    (directory / f"{name}.txt").write_text(text + "\n")

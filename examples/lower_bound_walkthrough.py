@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""A guided walk through the Ω(t²) lower-bound proof — executed live.
+
+Follows §3 of the paper step by step against the *ring-token* cheater, a
+sub-quadratic weak consensus whose behaviour under isolation genuinely
+depends on the isolation round, so every stage of the argument fires:
+
+1. the fully correct executions ``E_0`` / ``E_1`` (Weak Validity);
+2. the four round-1 isolations and the Lemma-3 default bit ``d``;
+3. the Lemma-4 interpolation to the critical round ``R``;
+4. the Lemma-2 swap construction that "launders" a faulty deviant into a
+   correct one, handing us two correct processes that disagree;
+5. independent re-verification of the violation witness.
+
+Run with: ``python examples/lower_bound_walkthrough.py``
+"""
+
+from repro.lowerbound import (
+    attack_weak_consensus,
+    canonical_partition,
+    verify_witness,
+    weak_consensus_floor,
+)
+from repro.omission import isolate_group
+from repro.protocols import ring_token_spec
+from repro.sim import ExecutionSummary
+
+
+def main() -> None:
+    n, t = 16, 8
+    spec = ring_token_spec(n, t)
+    partition = canonical_partition(n, t)
+
+    print(f"protocol: {spec.name}, n={n}, t={t}")
+    print(f"partition: {partition.describe()}")
+    print(f"Lemma-1 floor: t^2/32 = {weak_consensus_floor(t):.1f}")
+    print()
+
+    print("--- step 1: fault-free executions (Weak Validity) ---")
+    for bit in (0, 1):
+        execution = spec.run_uniform(bit)
+        print(f"E_{bit}: {ExecutionSummary.of(execution).render()}")
+    print()
+
+    print("--- step 2: what isolation does to the decision ---")
+    for k in (1, 6, 10, 13, n):
+        execution = spec.run_uniform(
+            0, isolate_group(partition.group_b, k)
+        )
+        a_decision = execution.decision(0)
+        print(
+            f"E_0^{{B({k:>2})}}: group A decides {a_decision} "
+            f"(msgs={execution.message_complexity()})"
+        )
+    print()
+
+    print("--- steps 3-5: the full pipeline ---")
+    outcome = attack_weak_consensus(spec)
+    for line in outcome.log:
+        print(f"  {line}")
+    print()
+    print(outcome.render())
+    print()
+
+    print("--- Figure 2: a merged execution, rendered ---")
+    from repro.analysis import render_spacetime
+    from repro.omission import MergeSpec, merge
+
+    # The driver found the decision flip between B(12) and B(13); build
+    # the paper's merged execution E_0^{B(13), C(12)} explicitly.
+    k_b, k_c = 13, 12
+    exec_b = spec.run_uniform(0, isolate_group(partition.group_b, k_b))
+    exec_c = spec.run_uniform(0, isolate_group(partition.group_c, k_c))
+    merged = merge(
+        MergeSpec(
+            group_b=partition.group_b,
+            group_c=partition.group_c,
+            round_b=k_b,
+            round_c=k_c,
+        ),
+        exec_b,
+        exec_c,
+        spec.factory,
+    )
+    print(render_spacetime(merged, max_rounds=n))
+    print(
+        f"group A decides {merged.decision(0)}, B-members "
+        f"{[merged.decision(pid) for pid in sorted(partition.group_b)]},"
+        f" C-members "
+        f"{[merged.decision(pid) for pid in sorted(partition.group_c)]}."
+    )
+    print("(For this cheater the contradiction already fires inside")
+    print(" E_0^{B(13)} itself — Lemma 2's majority check — so the")
+    print(" driver never needed this merge; it is shown to exhibit the")
+    print(" Figure-2 construction: both groups isolated one round")
+    print(" apart, each replaying its own execution, group A live.)")
+    print()
+
+    witness = outcome.witness
+    assert witness is not None
+    print("--- the violation witness, re-verified from scratch ---")
+    verify_witness(witness, spec.factory)
+    execution = witness.execution
+    from repro.analysis import render_execution
+
+    print(render_execution(execution, max_rounds=6))
+    print("  ... (full horizon in the witness record)")
+    print(f"faulty set ({len(execution.faulty)} <= t={t}): "
+          f"{sorted(execution.faulty)}")
+    print(f"correct p{witness.culprit} decided "
+          f"{execution.decision(witness.culprit)!r}")
+    print(f"correct p{witness.counterpart} decided "
+          f"{execution.decision(witness.counterpart)!r}")
+    print("both are genuine runs of the protocol's own state machine —")
+    print("the cheat is refuted by its own code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: the environment lacks the `wheel` package, which PEP 660
+editable installs require; `python setup.py develop` (used by
+`pip install -e . --no-build-isolation` on fallback, or directly) does not.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

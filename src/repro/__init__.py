@@ -1,0 +1,63 @@
+"""repro — executable reproduction of *All Byzantine Agreement Problems
+are Expensive* (Civit, Gilbert, Guerraoui, Komatovic, Paramonov,
+Vidigueira; PODC 2024).
+
+The package turns the paper's mathematics into running code:
+
+* :mod:`repro.sim` — the synchronous computational model of Appendix A
+  (deterministic state machines, omission/Byzantine static adversaries,
+  fragment/behavior/execution records with mechanical validity checks).
+* :mod:`repro.crypto` — simulated idealized signatures (§5.1).
+* :mod:`repro.omission` — the proof constructions: isolation
+  (Definition 1), ``swap_omission`` (Algorithm 4), ``merge``
+  (Algorithm 5), indistinguishability.
+* :mod:`repro.lowerbound` — Theorem 2 as an attack pipeline that breaks
+  any sub-quadratic weak consensus candidate with a machine-checkable
+  violation witness.
+* :mod:`repro.validity` — input configurations and validity properties
+  (§4.1), containment relation (§4.2), triviality.
+* :mod:`repro.solvability` — the containment condition and the general
+  solvability theorem (Theorem 4), plus Theorem 5's boundary.
+* :mod:`repro.reductions` — Algorithm 1 (weak consensus from anything
+  non-trivial, zero messages) and Algorithm 2 (anything CC from IC).
+* :mod:`repro.protocols` — Dolev–Strong, EIG, Phase King, interactive
+  consistency, weak/strong consensus, external validity, and the
+  sub-quadratic cheaters the lower bound devours.
+* :mod:`repro.analysis` — sweeps, power-law fits and report tables.
+
+Quickstart::
+
+    from repro.protocols import silent_cheater_spec
+    from repro.lowerbound import attack_weak_consensus
+
+    outcome = attack_weak_consensus(silent_cheater_spec(n=16, t=8))
+    print(outcome.render())          # a verified Agreement violation
+"""
+
+from repro.errors import (
+    AdversaryError,
+    ModelViolation,
+    ProtocolViolation,
+    ReproError,
+    SignatureError,
+    TrivialProblemError,
+    UnsolvableProblemError,
+)
+from repro.types import Bit, Payload, ProcessId, Round
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversaryError",
+    "Bit",
+    "ModelViolation",
+    "Payload",
+    "ProcessId",
+    "ProtocolViolation",
+    "ReproError",
+    "Round",
+    "SignatureError",
+    "TrivialProblemError",
+    "UnsolvableProblemError",
+    "__version__",
+]

@@ -1,0 +1,148 @@
+"""ASCII space-time diagrams of executions (Figures 1 and 2, literally).
+
+The paper's two figures are space-time pictures: processes as columns,
+rounds as rows, colors marking where local behaviour starts deviating
+from a reference execution.  :func:`render_spacetime` reproduces them in
+monochrome ASCII:
+
+* ``.`` — the process sent nothing this round;
+* ``o`` — sent messages, none omitted;
+* ``x`` — committed a send-omission this round;
+* ``r`` — committed a receive-omission this round (isolation's mark);
+* ``D`` — decided during this round (overrides the above).
+
+:func:`render_divergence` adds the figure's colour bands against a
+reference execution: ``=`` where the process's attempted sends match the
+reference ("green"), ``#`` from the first round they deviate ("red" for
+the isolated group, "blue" for the propagated wave — in ASCII both render
+as ``#``; the row where each column flips is the band boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.omission.indistinguishability import first_send_divergence
+from repro.sim.execution import Execution
+from repro.types import ProcessId
+
+
+def _column_header(n: int, faulty: frozenset[ProcessId]) -> list[str]:
+    cells = []
+    for pid in range(n):
+        marker = f"p{pid}"
+        if pid in faulty:
+            marker += "*"
+        cells.append(marker)
+    return cells
+
+
+def render_spacetime(
+    execution: Execution,
+    *,
+    max_rounds: int | None = None,
+) -> str:
+    """One character per (round, process); see module docstring."""
+    horizon = execution.rounds
+    if max_rounds is not None:
+        horizon = min(horizon, max_rounds)
+    decided_during: dict[ProcessId, int] = {}
+    for pid in range(execution.n):
+        round_ = execution.behavior(pid).decision_round
+        if round_ is not None:
+            decided_during[pid] = round_
+    header = _column_header(execution.n, execution.faulty)
+    widths = [max(2, len(cell)) for cell in header]
+    lines = [
+        "rnd  "
+        + " ".join(
+            cell.ljust(width) for cell, width in zip(header, widths)
+        ),
+        "     " + " ".join("-" * width for width in widths),
+    ]
+    for round_ in range(1, horizon + 1):
+        cells = []
+        for pid in range(execution.n):
+            fragment = execution.behavior(pid).fragment(round_)
+            if decided_during.get(pid) == round_:
+                symbol = "D"
+            elif fragment.send_omitted:
+                symbol = "x"
+            elif fragment.receive_omitted:
+                symbol = "r"
+            elif fragment.sent:
+                symbol = "o"
+            else:
+                symbol = "."
+            cells.append(symbol)
+        lines.append(
+            f"{round_:>3}  "
+            + " ".join(
+                cell.ljust(width)
+                for cell, width in zip(cells, widths)
+            )
+        )
+    lines.append(
+        "     (o sent, . quiet, x send-omit, r recv-omit, D decided; "
+        "* faulty)"
+    )
+    return "\n".join(lines)
+
+
+def render_divergence(
+    reference: Execution,
+    variant: Execution,
+    *,
+    max_rounds: int | None = None,
+    groups: Iterable[frozenset[ProcessId]] = (),
+) -> str:
+    """The Figure-1 bands: ``=`` matches the reference, ``#`` deviates.
+
+    A process's column flips to ``#`` at its first *send* divergence
+    (attempted sends differ from the reference) and stays flipped — the
+    ASCII version of the figure's green→red/blue transition.  Columns of
+    ``groups`` members are capitalized in the header for orientation.
+    """
+    if reference.n != variant.n:
+        raise ValueError("executions have different system sizes")
+    horizon = min(reference.rounds, variant.rounds)
+    if max_rounds is not None:
+        horizon = min(horizon, max_rounds)
+    grouped: set[ProcessId] = set()
+    for group in groups:
+        grouped |= set(group)
+    flips = {
+        pid: first_send_divergence(reference, variant, pid)
+        for pid in range(reference.n)
+    }
+    header = []
+    for pid in range(reference.n):
+        marker = f"P{pid}" if pid in grouped else f"p{pid}"
+        header.append(marker)
+    widths = [max(2, len(cell)) for cell in header]
+    lines = [
+        "rnd  "
+        + " ".join(
+            cell.ljust(width) for cell, width in zip(header, widths)
+        ),
+        "     " + " ".join("-" * width for width in widths),
+    ]
+    for round_ in range(1, horizon + 1):
+        cells = []
+        for pid in range(reference.n):
+            flip = flips[pid]
+            cells.append(
+                "#" if flip is not None and round_ >= flip else "="
+            )
+        lines.append(
+            f"{round_:>3}  "
+            + " ".join(
+                cell.ljust(width)
+                for cell, width in zip(cells, widths)
+            )
+        )
+    lines.append(
+        "     (= sends match the reference, # sends deviate; "
+        "Pk = isolated-group member)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <experiment> [...]``.
+
+Subcommands:
+
+* ``e1`` … ``e9`` — run one experiment and print its report.
+* ``all`` — run the full suite (EXPERIMENTS.md regeneration).
+* ``attack`` — run the lower-bound pipeline on a named cheater (or the
+  correct protocol) at chosen ``(n, t)``.
+* ``classify`` — classify a named standard problem at ``(n, t)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS, CHEATERS
+from repro.lowerbound.driver import attack_weak_consensus
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+from repro.solvability.theorem import classify
+from repro.validity.standard import (
+    byzantine_broadcast_problem,
+    correct_proposal_problem,
+    interactive_consistency_problem,
+    strong_consensus_problem,
+    weak_consensus_problem,
+)
+
+_PROBLEMS = {
+    "weak": weak_consensus_problem,
+    "strong": strong_consensus_problem,
+    "broadcast": byzantine_broadcast_problem,
+    "ic": interactive_consistency_problem,
+    "correct-proposal": correct_proposal_problem,
+}
+
+
+def _sweepable_builders():
+    from repro.protocols.dolev_strong import dolev_strong_spec
+    from repro.protocols.interactive_consistency import (
+        authenticated_ic_spec,
+    )
+
+    builders = {
+        "weak-consensus": lambda n, t: broadcast_weak_consensus_spec(
+            n, t
+        ),
+        "dolev-strong": lambda n, t: dolev_strong_spec(n, t),
+        "ic": lambda n, t: authenticated_ic_spec(n, t),
+    }
+    builders.update(CHEATERS)
+    return builders
+
+
+_SWEEPABLE = _sweepable_builders()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of 'All Byzantine Agreement "
+            "Problems are Expensive' (PODC 2024)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for experiment_id in ALL_EXPERIMENTS:
+        subparsers.add_parser(
+            experiment_id, help=f"run experiment {experiment_id.upper()}"
+        )
+    subparsers.add_parser("all", help="run every experiment")
+
+    attack = subparsers.add_parser(
+        "attack", help="run the lower-bound attack on a protocol"
+    )
+    attack.add_argument(
+        "protocol",
+        choices=sorted(CHEATERS) + ["correct", "naive-flooding"],
+        help=(
+            "which candidate weak consensus to attack "
+            "(naive-flooding is incorrect but quadratic: the driver "
+            "rightly finds no sub-quadratic violation)"
+        ),
+    )
+    attack.add_argument("--n", type=int, default=16)
+    attack.add_argument("--t", type=int, default=8)
+    attack.add_argument(
+        "--log", action="store_true", help="print the pipeline narrative"
+    )
+    attack.add_argument(
+        "--save",
+        metavar="PATH",
+        help="write the violation witness (if any) as a JSON evidence file",
+    )
+
+    verify = subparsers.add_parser(
+        "verify-witness",
+        help="re-verify a saved witness against a protocol's code",
+    )
+    verify.add_argument("path", help="witness JSON file")
+    verify.add_argument(
+        "protocol",
+        choices=sorted(CHEATERS) + ["correct", "naive-flooding"],
+        help="the protocol the witness claims to break",
+    )
+    verify.add_argument("--n", type=int, default=16)
+    verify.add_argument("--t", type=int, default=8)
+
+    classify_parser = subparsers.add_parser(
+        "classify", help="classify a standard agreement problem"
+    )
+    classify_parser.add_argument(
+        "problem", choices=sorted(_PROBLEMS), help="which problem"
+    )
+    classify_parser.add_argument("--n", type=int, default=4)
+    classify_parser.add_argument("--t", type=int, default=1)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="message-complexity sweep of a protocol vs the t²/32 floor",
+    )
+    sweep_parser.add_argument(
+        "protocol",
+        choices=sorted(_SWEEPABLE),
+        help="which protocol to measure",
+    )
+    sweep_parser.add_argument("--max-t", type=int, default=8)
+    sweep_parser.add_argument(
+        "--grid",
+        choices=["slack", "proportional"],
+        default="slack",
+        help=(
+            "slack: n = t + 4 (high resilience); proportional: n = 2t "
+            "(shows the quadratic exponent)"
+        ),
+    )
+    return parser
+
+
+def _resolve_protocol(name: str, n: int, t: int):
+    """Resolve an attack/verify protocol name to a spec."""
+    if name == "correct":
+        return broadcast_weak_consensus_spec(n, t)
+    if name == "naive-flooding":
+        from repro.protocols.weak_consensus import naive_flooding_spec
+
+        return naive_flooding_spec(n, t)
+    return CHEATERS[name](n, t)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in ALL_EXPERIMENTS:
+        print(ALL_EXPERIMENTS[args.command]().report)
+        return 0
+    if args.command == "all":
+        for experiment_id, runner in ALL_EXPERIMENTS.items():
+            print(runner().report)
+            print()
+        return 0
+    if args.command == "attack":
+        spec = _resolve_protocol(args.protocol, args.n, args.t)
+        outcome = attack_weak_consensus(spec)
+        print(outcome.render())
+        if args.log:
+            print()
+            print("\n".join(outcome.log))
+        if args.save and outcome.witness is not None:
+            from repro.sim.serialization import dump_witness
+
+            with open(args.save, "w") as handle:
+                handle.write(dump_witness(outcome.witness))
+            print(f"witness written to {args.save}")
+        expected_violation = args.protocol in CHEATERS
+        return 0 if outcome.found_violation == expected_violation else 1
+    if args.command == "verify-witness":
+        from repro.errors import ModelViolation
+        from repro.lowerbound.witnesses import verify_witness
+        from repro.sim.serialization import load_witness
+
+        spec = _resolve_protocol(args.protocol, args.n, args.t)
+        with open(args.path) as handle:
+            witness = load_witness(handle.read())
+        try:
+            verify_witness(witness, spec.factory)
+        except ModelViolation as error:
+            print(f"REJECTED: {error}")
+            return 1
+        print(f"VERIFIED: {witness.summary()}")
+        return 0
+    if args.command == "classify":
+        problem = _PROBLEMS[args.problem](args.n, args.t)
+        print(classify(problem).render())
+        return 0
+    if args.command == "sweep":
+        from repro.analysis.complexity import (
+            quadratic_parameter_grid,
+            sweep,
+        )
+        from repro.analysis.fitting import fit_sweep
+        from repro.analysis.tables import render_sweep
+
+        if args.grid == "proportional":
+            grid = [
+                (2 * t, t) for t in range(2, args.max_t + 1, 2)
+            ]
+        else:
+            grid = quadratic_parameter_grid(args.max_t)
+        points = sweep(_SWEEPABLE[args.protocol], grid)
+        print(render_sweep(points))
+        try:
+            print(f"fit: {fit_sweep(points).render()}")
+        except ValueError:
+            print("fit: insufficient non-zero samples")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Simulated authentication substrate (idealized signatures, §5.1).
+
+Provides deterministic per-process keys, HMAC-style unforgeable-in-sim
+signatures, and Dolev–Strong signature chains.  The substitution rationale
+(paper's idealized signatures → keyed hashes inside a closed simulation) is
+documented in DESIGN.md §1.
+"""
+
+from repro.crypto.chains import SignedChain, start_chain, verify_chain
+from repro.crypto.keys import KeyRegistry, SecretKey
+from repro.crypto.signatures import (
+    Signature,
+    SignatureScheme,
+    Signer,
+    canonical_bytes,
+)
+
+__all__ = [
+    "KeyRegistry",
+    "SecretKey",
+    "Signature",
+    "SignatureScheme",
+    "SignedChain",
+    "Signer",
+    "canonical_bytes",
+    "start_chain",
+    "verify_chain",
+]

@@ -1,0 +1,121 @@
+"""Signature chains for Dolev–Strong style broadcast ([52] in the paper).
+
+A *k-chain* on a value ``v`` for a designated sender ``s`` is a sequence of
+signatures by ``k`` distinct processes, the first of which is ``s``, where
+the ``i``-th signature covers the value together with the first ``i-1``
+signatures.  The Dolev–Strong invariant is: a value accompanied by a valid
+k-chain seen in round ``k`` was vouched for by at least ``k`` distinct
+processes, at least one of which is correct once ``k > t`` — the basis of
+its ``t+1``-round authenticated broadcast for any ``t < n``.
+
+Chains are immutable; :meth:`SignedChain.extend` returns a longer chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.crypto.signatures import Signature, SignatureScheme, Signer
+from repro.types import ProcessId
+
+_DOMAIN = "ds-chain"
+
+
+def _chain_content(
+    instance: Hashable, value: Hashable, prefix: tuple[Signature, ...]
+) -> tuple:
+    """The canonical content covered by the next signature in a chain."""
+    return (_DOMAIN, instance, value, prefix)
+
+
+@dataclass(frozen=True, slots=True)
+class SignedChain:
+    """A signature chain on ``value`` within a broadcast ``instance``.
+
+    Attributes:
+        instance: domain-separation tag of the broadcast instance (so
+            chains cannot be replayed across parallel broadcasts, e.g. the
+            n instances inside interactive consistency).
+        value: the value being vouched for.
+        signatures: the chain, in signing order.
+    """
+
+    instance: Hashable
+    value: Hashable
+    signatures: tuple[Signature, ...]
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    @property
+    def signers(self) -> tuple[ProcessId, ...]:
+        """The ids of the chain's signers, in order."""
+        return tuple(signature.signer for signature in self.signatures)
+
+    def has_signer(self, pid: ProcessId) -> bool:
+        """Whether ``pid`` already appears in the chain."""
+        return any(
+            signature.signer == pid for signature in self.signatures
+        )
+
+    def extend(self, signer: Signer) -> "SignedChain":
+        """Append ``signer``'s signature over the current chain.
+
+        Raises:
+            ValueError: if the signer already appears (chains require
+                distinct signers; re-signing adds no information).
+        """
+        if self.has_signer(signer.pid):
+            raise ValueError(
+                f"p{signer.pid} already signed this chain"
+            )
+        signature = signer.sign(
+            _chain_content(self.instance, self.value, self.signatures)
+        )
+        return SignedChain(
+            instance=self.instance,
+            value=self.value,
+            signatures=self.signatures + (signature,),
+        )
+
+
+def start_chain(
+    signer: Signer, instance: Hashable, value: Hashable
+) -> SignedChain:
+    """The 1-chain a designated sender creates over its value."""
+    signature = signer.sign(_chain_content(instance, value, ()))
+    return SignedChain(
+        instance=instance, value=value, signatures=(signature,)
+    )
+
+
+def verify_chain(
+    scheme: SignatureScheme,
+    chain: SignedChain,
+    designated_sender: ProcessId,
+    minimum_length: int = 1,
+) -> bool:
+    """Verify a chain's structure and every signature in it.
+
+    A valid chain (1) is at least ``minimum_length`` long, (2) starts with
+    the designated sender's signature, (3) has pairwise-distinct signers,
+    and (4) has every signature verify over the value plus the preceding
+    prefix.  Returns ``False`` (never raises) on any defect, so Byzantine
+    garbage degrades to "ignore".
+    """
+    signatures = chain.signatures
+    if len(signatures) < max(1, minimum_length):
+        return False
+    if signatures[0].signer != designated_sender:
+        return False
+    signers = [signature.signer for signature in signatures]
+    if len(signers) != len(set(signers)):
+        return False
+    for index, signature in enumerate(signatures):
+        content = _chain_content(
+            chain.instance, chain.value, signatures[:index]
+        )
+        if not scheme.verify(signature, content):
+            return False
+    return True

@@ -1,0 +1,49 @@
+"""Theorem 2 made executable: the Ω(t²) lower-bound attack pipeline.
+
+* :mod:`repro.lowerbound.bound` — the ``t²/32`` floor and comparisons.
+* :mod:`repro.lowerbound.partition` — the (A, B, C) partitions (Table 1).
+* :mod:`repro.lowerbound.witnesses` — machine-checkable violation
+  counterexamples.
+* :mod:`repro.lowerbound.driver` — the Lemma 2–5 pipeline that breaks any
+  sub-quadratic weak consensus candidate.
+"""
+
+from repro.lowerbound.bound import (
+    BoundComparison,
+    dolev_reischuk_floor,
+    weak_consensus_floor,
+)
+from repro.lowerbound.driver import (
+    AttackOutcome,
+    LowerBoundDriver,
+    attack_weak_consensus,
+)
+from repro.lowerbound.partition import (
+    ABCPartition,
+    canonical_partition,
+    paper_partition,
+)
+from repro.lowerbound.witnesses import (
+    ViolationKind,
+    ViolationWitness,
+    is_valid_witness,
+    minimize_witness,
+    verify_witness,
+)
+
+__all__ = [
+    "ABCPartition",
+    "AttackOutcome",
+    "BoundComparison",
+    "LowerBoundDriver",
+    "ViolationKind",
+    "ViolationWitness",
+    "attack_weak_consensus",
+    "canonical_partition",
+    "dolev_reischuk_floor",
+    "is_valid_witness",
+    "minimize_witness",
+    "paper_partition",
+    "verify_witness",
+    "weak_consensus_floor",
+]

@@ -1,0 +1,547 @@
+"""The executable lower-bound argument (Lemmas 2–5, Theorem 2).
+
+Given *any* candidate weak consensus algorithm (as a
+:class:`~repro.protocols.base.ProtocolSpec`), the driver walks the paper's
+proof as a concrete attack:
+
+1. **Fault-free sanity** — the all-0 and all-1 executions must decide
+   their proposals (Weak Validity + Termination); failures are immediate
+   witnesses.
+2. **Round-1 isolations** — run ``E_b^{G(1)}`` for both bits and both
+   groups; in each, all correct processes must agree, and (Lemma 2) a
+   majority of the isolated group must decide the correct processes' bit
+   — otherwise the swap-omission construction is attempted to extract a
+   witness.
+3. **Lemma-3 consistency** — the four round-1 executions must share one
+   correct-group decision ``d`` (they are pairwise mergeable).  On a
+   mismatch, the two executions are *merged* (Algorithm 5) and the
+   extraction runs inside the merged execution.
+4. **Critical round** (Lemma 4) — with ``f = 1 - d``, scan
+   ``E_f^{B(k)}`` for increasing ``k`` until the correct decision flips
+   from ``d`` to ``f``; Lemma 2 is re-checked at every step.
+5. **The final merge** (Lemma 5, Figure 2) — merge ``E_f^{B(R+1)}`` with
+   ``E_f^{C(R)}``; group A's decision necessarily disagrees with the
+   replayed majority of B or of C, and the extraction produces the
+   witness.
+
+Every produced witness is re-verified from scratch
+(:func:`~repro.lowerbound.witnesses.verify_witness`).  If no witness is
+found — e.g. because every extraction ran into the ``t/2``
+receive-omission budget, which is exactly what ≥ ``t²/32``-message
+algorithms buy themselves — the outcome reports the observed message
+counts against the Lemma-1 floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelViolation, ReproError
+from repro.lowerbound.bound import BoundComparison
+from repro.lowerbound.partition import ABCPartition, canonical_partition
+from repro.lowerbound.witnesses import (
+    ViolationKind,
+    ViolationWitness,
+    verify_witness,
+)
+from repro.omission.isolation import isolate_group
+from repro.omission.merge import MergeSpec, merge
+from repro.omission.swap import swap_omission_checked
+from repro.protocols.base import ProtocolSpec
+from repro.sim.execution import Execution, majority_decision
+from repro.types import Bit, Payload, ProcessId, Round
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """The result of running the lower-bound pipeline on one candidate.
+
+    Attributes:
+        protocol: the candidate's name.
+        n, t: system parameters.
+        partition: the (A, B, C) partition used.
+        witness: a verified violation witness, or ``None``.
+        bound: observed worst message count vs the ``t²/32`` floor.
+        default_bit: the Lemma-3 common decision ``d`` (if reached).
+        critical_round: the Lemma-4 round ``R`` (if reached).
+        log: the pipeline's step-by-step narrative.
+    """
+
+    protocol: str
+    n: int
+    t: int
+    partition: ABCPartition
+    witness: ViolationWitness | None
+    bound: BoundComparison
+    default_bit: Payload | None = None
+    critical_round: Round | None = None
+    log: tuple[str, ...] = ()
+
+    @property
+    def found_violation(self) -> bool:
+        """Whether the candidate was broken."""
+        return self.witness is not None
+
+    def render(self) -> str:
+        """A short report block."""
+        lines = [
+            f"attack on {self.protocol} (n={self.n}, t={self.t}; "
+            f"{self.partition.describe()})",
+            f"  {self.bound.render()}",
+        ]
+        if self.default_bit is not None:
+            lines.append(f"  default bit d = {self.default_bit!r}")
+        if self.critical_round is not None:
+            lines.append(f"  critical round R = {self.critical_round}")
+        if self.witness is not None:
+            lines.append(f"  VIOLATION: {self.witness.summary()}")
+        else:
+            lines.append("  no violation found (bound respected)")
+        return "\n".join(lines)
+
+
+class _Found(Exception):
+    """Internal: unwinds the pipeline when a witness is in hand."""
+
+    def __init__(self, witness: ViolationWitness) -> None:
+        super().__init__(witness.summary())
+        self.witness = witness
+
+
+@dataclass
+class LowerBoundDriver:
+    """Runs the Lemma 2–5 pipeline against one candidate algorithm.
+
+    Attributes:
+        spec: the candidate weak consensus algorithm.
+        partition: the (A, B, C) split; defaults to
+            :func:`~repro.lowerbound.partition.canonical_partition`.
+        verify: re-verify any produced witness from scratch.
+    """
+
+    spec: ProtocolSpec
+    partition: ABCPartition | None = None
+    verify: bool = True
+    _log: list[str] = field(default_factory=list, repr=False)
+    _max_messages: int = field(default=0, repr=False)
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.partition is None:
+            self.partition = canonical_partition(self.spec.n, self.spec.t)
+        if (self.partition.n, self.partition.t) != (
+            self.spec.n,
+            self.spec.t,
+        ):
+            raise ValueError("partition does not match the spec's (n, t)")
+
+    def attack(self) -> AttackOutcome:
+        """Run the full pipeline; always returns (never raises _Found)."""
+        witness: ViolationWitness | None = None
+        default_bit: Payload | None = None
+        critical_round: Round | None = None
+        try:
+            self._fault_free_checks()
+            decisions = self._round_one_isolations()
+            default_bit = self._lemma3_consistency(decisions)
+            if default_bit is not None:
+                critical_round = self._critical_round_scan(default_bit)
+                if critical_round is not None:
+                    self._final_merge(default_bit, critical_round)
+            self._note("pipeline exhausted without a violation")
+        except _Found as found:
+            witness = found.witness
+            if self.verify:
+                verify_witness(witness, self.spec.factory)
+                self._note("witness re-verified from scratch")
+        assert self.partition is not None
+        return AttackOutcome(
+            protocol=self.spec.name,
+            n=self.spec.n,
+            t=self.spec.t,
+            partition=self.partition,
+            witness=witness,
+            bound=BoundComparison(
+                t=self.spec.t, observed=self._max_messages
+            ),
+            default_bit=default_bit,
+            critical_round=critical_round,
+            log=tuple(self._log),
+        )
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+
+    def _fault_free_checks(self) -> None:
+        """Stage 1: Weak Validity and Termination in E_0 and E_1."""
+        for bit in (0, 1):
+            execution = self._run(bit, group=None, from_round=None)
+            self._require_unanimous(
+                execution, context=f"fault-free all-{bit}"
+            )
+            for pid in range(self.spec.n):
+                decision = execution.decision(pid)
+                if decision != bit:
+                    self._found(
+                        ViolationWitness(
+                            kind=ViolationKind.WEAK_VALIDITY,
+                            execution=execution,
+                            culprit=pid,
+                            note=(
+                                f"all processes correct and propose {bit} "
+                                f"but p{pid} decided {decision!r}"
+                            ),
+                        )
+                    )
+
+    def _round_one_isolations(self) -> dict[tuple[Bit, str], Payload]:
+        """Stage 2: the four ``E_b^{G(1)}`` executions plus Lemma-2 checks."""
+        decisions: dict[tuple[Bit, str], Payload] = {}
+        for bit in (0, 1):
+            for label in ("B", "C"):
+                execution = self._run(bit, group=label, from_round=1)
+                decided = self._require_unanimous(
+                    execution, context=f"E_{bit}^{{{label}(1)}}"
+                )
+                decisions[(bit, label)] = decided
+                self._lemma2_check(execution, label, 1, decided)
+        return decisions
+
+    def _lemma3_consistency(
+        self, decisions: dict[tuple[Bit, str], Payload]
+    ) -> Payload | None:
+        """Stage 3: the four round-1 decisions must coincide (Lemma 3).
+
+        Returns the common bit ``d`` when consistent; on a mismatch merges
+        the offending mergeable pair and attempts extraction inside it,
+        returning ``None`` if nothing could be extracted (pipeline over).
+        """
+        values = set(decisions.values())
+        if len(values) == 1:
+            d = values.pop()
+            self._note(f"Lemma 3 consistent: default bit d = {d!r}")
+            return d
+        self._note(
+            f"Lemma 3 violated across round-1 isolations: {decisions}"
+        )
+        for bit_b in (0, 1):
+            for bit_c in (0, 1):
+                d_b = decisions[(bit_b, "B")]
+                d_c = decisions[(bit_c, "C")]
+                if d_b == d_c:
+                    continue
+                self._merge_and_extract(
+                    exec_b=self._run(bit_b, "B", 1),
+                    exec_c=self._run(bit_c, "C", 1),
+                    round_b=1,
+                    round_c=1,
+                    expect_b=d_b,
+                    expect_c=d_c,
+                )
+        self._note("merge extraction inconclusive at round-1 stage")
+        return None
+
+    def _critical_round_scan(self, default_bit: Payload) -> Round | None:
+        """Stage 4 (Lemma 4): find R with decisions d at B(R), f at B(R+1)."""
+        family_bit = 1 - int(default_bit)  # binary weak consensus
+        previous = default_bit
+        for k in range(2, self.spec.rounds + 3):
+            execution = self._run(family_bit, "B", k)
+            decided = self._require_unanimous(
+                execution, context=f"E_{family_bit}^{{B({k})}}"
+            )
+            self._lemma2_check(execution, "B", k, decided)
+            if decided != previous:
+                critical = k - 1
+                self._note(
+                    f"critical round R = {critical}: decisions "
+                    f"{previous!r} at B({critical}) vs {decided!r} at "
+                    f"B({critical + 1})"
+                )
+                return critical
+        self._note(
+            "no critical round found within the horizon — the decision "
+            "never flipped, contradicting Weak Validity bookkeeping"
+        )
+        return None
+
+    def _final_merge(
+        self, default_bit: Payload, critical_round: Round
+    ) -> None:
+        """Stage 5 (Lemma 5 / Figure 2): merge B(R+1) with C(R)."""
+        family_bit = 1 - int(default_bit)
+        exec_c = self._run(family_bit, "C", critical_round)
+        decided_c = self._require_unanimous(
+            execution=exec_c,
+            context=f"E_{family_bit}^{{C({critical_round})}}",
+        )
+        self._lemma2_check(exec_c, "C", critical_round, decided_c)
+        if decided_c == default_bit:
+            # The paper's main line: B at R+1 decides f, C at R decides d.
+            self._merge_and_extract(
+                exec_b=self._run(family_bit, "B", critical_round + 1),
+                exec_c=exec_c,
+                round_b=critical_round + 1,
+                round_c=critical_round,
+                expect_b=family_bit,
+                expect_c=default_bit,
+            )
+        else:
+            # Lemma 3 already fails for the same-round pair (B(R), C(R)).
+            self._merge_and_extract(
+                exec_b=self._run(family_bit, "B", critical_round),
+                exec_c=exec_c,
+                round_b=critical_round,
+                round_c=critical_round,
+                expect_b=default_bit,
+                expect_c=decided_c,
+            )
+        self._note("final merge extraction inconclusive")
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+
+    def _merge_and_extract(
+        self,
+        exec_b: Execution,
+        exec_c: Execution,
+        round_b: Round,
+        round_c: Round,
+        expect_b: Payload,
+        expect_c: Payload,
+    ) -> None:
+        """Merge two isolated executions and try both extractions.
+
+        ``expect_b``/``expect_c`` are the decisions the replayed groups
+        carry over by indistinguishability; group A must disagree with at
+        least one of them when the expectations differ.
+        """
+        assert self.partition is not None
+        spec = MergeSpec(
+            group_b=self.partition.group_b,
+            group_c=self.partition.group_c,
+            round_b=round_b,
+            round_c=round_c,
+        )
+        merged = merge(spec, exec_b, exec_c, self.spec.factory)
+        self._observe(merged)
+        self._note(
+            f"merged B({round_b}) with C({round_c}); expecting B->"
+            f"{expect_b!r}, C->{expect_c!r}"
+        )
+        decided = self._require_unanimous(
+            merged, context=f"merge(B({round_b}), C({round_c}))"
+        )
+        if decided != expect_b:
+            self._lemma2_extract(merged, "B", round_b, decided)
+        if decided != expect_c:
+            self._lemma2_extract(merged, "C", round_c, decided)
+
+    def _lemma2_check(
+        self,
+        execution: Execution,
+        group_label: str,
+        from_round: Round,
+        correct_decision: Payload,
+    ) -> None:
+        """If the isolated group's majority strays, try the extraction."""
+        group = self._group(group_label)
+        majority = majority_decision(execution, sorted(group))
+        if majority != correct_decision:
+            self._note(
+                f"Lemma 2 premise violated: majority of {group_label} "
+                f"decided {majority!r} vs correct {correct_decision!r}"
+            )
+            self._lemma2_extract(
+                execution, group_label, from_round, correct_decision
+            )
+
+    def _lemma2_extract(
+        self,
+        execution: Execution,
+        group_label: str,
+        from_round: Round,
+        correct_decision: Payload,
+    ) -> None:
+        """Lemma 2's constructive step: swap omissions to free a deviant.
+
+        Scans the isolated group's members in order of how few messages
+        from correct processes they receive-omitted (the paper's
+        ``|M_{X→p}| < t/2`` counting argument picks exactly these), and
+        for each deviant attempts ``swap_omission``; a successful swap
+        yields a valid execution in which the deviant is *correct* yet
+        disagrees with (or never decides unlike) a correct witness.
+        """
+        group = self._group(group_label)
+        correct = execution.correct
+
+        def omitted_from_correct(pid: ProcessId) -> int:
+            behavior = execution.behavior(pid)
+            return sum(
+                1
+                for message in behavior.all_receive_omitted()
+                if message.sender in correct
+            )
+
+        candidates = sorted(
+            (pid for pid in group
+             if execution.decision(pid) != correct_decision),
+            key=lambda pid: (omitted_from_correct(pid), pid),
+        )
+        for pid in candidates:
+            try:
+                swapped = swap_omission_checked(execution, pid)
+            except ModelViolation as error:
+                self._note(
+                    f"extraction via p{pid} failed: {error} "
+                    "(the message-count premise protects the algorithm "
+                    "here)"
+                )
+                continue
+            remaining_correct = sorted(
+                correct - swapped.execution.faulty
+            )
+            witnesses = [
+                q
+                for q in remaining_correct
+                if swapped.execution.decision(q) == correct_decision
+            ]
+            if not witnesses:
+                self._note(
+                    f"extraction via p{pid}: no correct witness survived "
+                    "the swap"
+                )
+                continue
+            counterpart = witnesses[0]
+            if swapped.execution.decision(pid) is None:
+                self._found(
+                    ViolationWitness(
+                        kind=ViolationKind.TERMINATION,
+                        execution=swapped.execution,
+                        culprit=pid,
+                        note=(
+                            f"swap freed p{pid} (isolated in {group_label} "
+                            f"from round {from_round}) which never decides"
+                        ),
+                    )
+                )
+            self._found(
+                ViolationWitness(
+                    kind=ViolationKind.AGREEMENT,
+                    execution=swapped.execution,
+                    culprit=pid,
+                    counterpart=counterpart,
+                    note=(
+                        f"swap freed p{pid} (isolated in {group_label} "
+                        f"from round {from_round}); decides "
+                        f"{swapped.execution.decision(pid)!r} vs "
+                        f"p{counterpart}'s {correct_decision!r}"
+                    ),
+                )
+            )
+
+    def _require_unanimous(
+        self, execution: Execution, context: str
+    ) -> Payload:
+        """All correct processes decided one value — or a direct witness."""
+        undecided = [
+            pid
+            for pid in sorted(execution.correct)
+            if execution.decision(pid) is None
+        ]
+        if undecided:
+            self._found(
+                ViolationWitness(
+                    kind=ViolationKind.TERMINATION,
+                    execution=execution,
+                    culprit=undecided[0],
+                    note=f"correct p{undecided[0]} undecided in {context}",
+                )
+            )
+        by_value: dict[Payload, ProcessId] = {}
+        for pid in sorted(execution.correct):
+            by_value.setdefault(execution.decision(pid), pid)
+        if len(by_value) > 1:
+            values = sorted(by_value, key=repr)
+            self._found(
+                ViolationWitness(
+                    kind=ViolationKind.AGREEMENT,
+                    execution=execution,
+                    culprit=by_value[values[0]],
+                    counterpart=by_value[values[1]],
+                    note=f"correct processes split in {context}",
+                )
+            )
+        return next(iter(by_value))
+
+    def _run(
+        self,
+        bit: Bit,
+        group: str | None,
+        from_round: Round | None,
+    ) -> Execution:
+        """Run (and cache) ``E_bit`` or ``E_bit^{G(k)}``."""
+        key = (bit, group, from_round)
+        if key in self._cache:
+            return self._cache[key]
+        adversary = None
+        if group is not None:
+            assert from_round is not None
+            adversary = isolate_group(self._group(group), from_round)
+        execution = self.spec.run_uniform(bit, adversary)
+        self._observe(execution)
+        self._cache[key] = execution
+        return execution
+
+    def _group(self, label: str) -> frozenset[ProcessId]:
+        assert self.partition is not None
+        if label == "B":
+            return self.partition.group_b
+        if label == "C":
+            return self.partition.group_c
+        raise ReproError(f"unknown group label {label!r}")
+
+    def _observe(self, execution: Execution) -> None:
+        self._max_messages = max(
+            self._max_messages, execution.message_complexity()
+        )
+
+    def _note(self, message: str) -> None:
+        self._log.append(message)
+
+    def _found(self, witness: ViolationWitness) -> None:
+        self._note(f"violation: {witness.summary()}")
+        raise _Found(witness)
+
+
+def attack_weak_consensus(
+    spec: ProtocolSpec,
+    partition: ABCPartition | None = None,
+    *,
+    verify: bool = True,
+    minimize: bool = False,
+) -> AttackOutcome:
+    """Run the full lower-bound pipeline against ``spec``.
+
+    Args:
+        partition: the (A, B, C) split (default: canonical sizing).
+        verify: re-verify any witness from scratch before returning.
+        minimize: additionally truncate the witness execution to its
+            shortest still-verifying prefix (agreement witnesses only).
+    """
+    driver = LowerBoundDriver(
+        spec=spec, partition=partition, verify=verify
+    )
+    outcome = driver.attack()
+    if minimize and outcome.witness is not None:
+        from dataclasses import replace
+
+        from repro.lowerbound.witnesses import minimize_witness
+
+        outcome = replace(
+            outcome,
+            witness=minimize_witness(outcome.witness, spec.factory),
+        )
+    return outcome

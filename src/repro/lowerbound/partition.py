@@ -1,0 +1,103 @@
+"""The (A, B, C) partitions of the lower-bound proof (Table 1).
+
+The proof fixes a partition of ``Π`` with ``|B| = |C| = t/4`` (the paper
+takes ``t`` divisible by 8 without loss of generality).  The driver
+generalizes slightly: any two disjoint non-empty groups with
+``|B| + |C| <= t`` support the constructions; the canonical partition uses
+``max(1, t // 4)`` and places B and C at the top of the id space, keeping
+low-id processes (designated senders, leaders, kings) inside A — the
+interesting case for coordinator-based algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import ProcessId, validate_system_size
+
+
+@dataclass(frozen=True)
+class ABCPartition:
+    """A partition ``(A, B, C)`` of the process set (Table 1).
+
+    Attributes:
+        n, t: system parameters.
+        group_b: the paper's group ``B``.
+        group_c: the paper's group ``C``.
+    """
+
+    n: int
+    t: int
+    group_b: frozenset[ProcessId]
+    group_c: frozenset[ProcessId]
+
+    def __post_init__(self) -> None:
+        validate_system_size(self.n, self.t)
+        if not self.group_b or not self.group_c:
+            raise ValueError("groups B and C must be non-empty")
+        if self.group_b & self.group_c:
+            raise ValueError("groups B and C must be disjoint")
+        if len(self.group_b) + len(self.group_c) > self.t:
+            raise ValueError(
+                f"|B| + |C| = {len(self.group_b) + len(self.group_c)} "
+                f"exceeds the corruption budget t = {self.t}"
+            )
+        members = self.group_b | self.group_c
+        if any(not 0 <= pid < self.n for pid in members):
+            raise ValueError(f"group member outside range({self.n})")
+        if not self.group_a:
+            raise ValueError("group A must be non-empty")
+
+    @property
+    def group_a(self) -> frozenset[ProcessId]:
+        """Group ``A = Π \\ (B ∪ C)`` — always correct in the proof."""
+        return (
+            frozenset(range(self.n)) - self.group_b - self.group_c
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary for reports."""
+        return (
+            f"A={sorted(self.group_a)} B={sorted(self.group_b)} "
+            f"C={sorted(self.group_c)}"
+        )
+
+
+def canonical_partition(n: int, t: int) -> ABCPartition:
+    """The default partition: ``|B| = |C| = max(1, t//4)`` at top ids.
+
+    Matches the paper's ``t/4`` sizing for ``t`` divisible by 8 and
+    degrades gracefully for small ``t`` (the constructions only need
+    ``|B| + |C| <= t`` and non-empty groups, so ``t >= 2`` suffices).
+
+    Raises:
+        ValueError: if ``t < 2`` or the groups would not fit alongside a
+            non-empty group A.
+    """
+    validate_system_size(n, t)
+    if t < 2:
+        raise ValueError(
+            f"the two-group construction needs t >= 2, got t={t}"
+        )
+    size = max(1, t // 4)
+    if 2 * size >= n:
+        raise ValueError(
+            f"groups of {size} leave no correct process with n={n}"
+        )
+    group_c = frozenset(range(n - size, n))
+    group_b = frozenset(range(n - 2 * size, n - size))
+    return ABCPartition(n=n, t=t, group_b=group_b, group_c=group_c)
+
+
+def paper_partition(n: int, t: int) -> ABCPartition:
+    """The paper's exact regime: ``t ∈ [8, n-1]`` divisible by 8.
+
+    Raises:
+        ValueError: outside the regime (use :func:`canonical_partition`
+            for small-parameter experimentation).
+    """
+    if t < 8 or t % 8 != 0:
+        raise ValueError(
+            f"the paper's proof fixes t >= 8 divisible by 8, got t={t}"
+        )
+    return canonical_partition(n, t)

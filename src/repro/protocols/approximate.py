@@ -1,0 +1,142 @@
+"""Synchronous Byzantine approximate agreement (§7; [2, 64, 84]).
+
+The paper's future work asks about problems that do **not** require
+Agreement; approximate agreement is the canonical one: correct processes
+decide real values within ``ε`` of each other, inside the range of
+correct inputs.  This module implements the classic trimmed-mean
+iteration (Dolev–Lynch–Pinter–Stark–Weihl lineage) for ``n > 3t``:
+
+Each round, every process broadcasts its value; each receiver collects
+the ``n`` values (its own plus received; missing/malformed senders
+contribute the receiver's own value, a safe substitution inside the
+correct range... no — inside *its* current value, which is in range),
+sorts them, discards the ``t`` lowest and ``t`` highest, and moves to the
+midpoint of the surviving extremes.  Standard analysis: the spread of
+correct values at least halves each round, and every correct value stays
+within the initial correct range; after ``⌈log2(spread₀ / ε)⌉`` rounds
+all correct values are ``ε``-close.
+
+Because outputs may legitimately differ (by up to ε), approximate
+agreement is **not** a val-agreement problem in the §4.1 sense — the
+Ω(t²) theorem does not speak to it, which is precisely why the paper
+lists it as an open direction.  The test-suite pins that boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.protocols.base import ProtocolSpec
+from repro.sim.process import Process
+from repro.types import Payload, ProcessId, Round
+
+
+def rounds_for_precision(spread: float, epsilon: float) -> int:
+    """Rounds needed to shrink ``spread`` below ``epsilon`` (halving)."""
+    if spread <= epsilon:
+        return 1
+    return max(1, math.ceil(math.log2(spread / epsilon)))
+
+
+class ApproximateAgreementProcess(Process):
+    """One process of trimmed-midpoint approximate agreement."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        proposal: Payload,
+        rounds: int,
+    ) -> None:
+        if n <= 3 * t:
+            raise ValueError(
+                f"approximate agreement requires n > 3t, got n={n}, t={t}"
+            )
+        if not isinstance(proposal, (int, float)) or isinstance(
+            proposal, bool
+        ):
+            raise ValueError(
+                f"proposals must be numbers, got {proposal!r}"
+            )
+        super().__init__(pid, n, t, proposal)
+        self.value = float(proposal)
+        self.total_rounds = rounds
+
+    def outgoing(self, round_: Round) -> dict[ProcessId, Payload]:
+        if round_ > self.total_rounds:
+            return {}
+        return {
+            other: ("aa", self.value)
+            for other in range(self.n)
+            if other != self.pid
+        }
+
+    def deliver(
+        self, round_: Round, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        if round_ > self.total_rounds:
+            return
+        values = [self.value]
+        for sender in range(self.n):
+            if sender == self.pid:
+                continue
+            payload = received.get(sender)
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "aa"
+                and isinstance(payload[1], (int, float))
+                and not isinstance(payload[1], bool)
+                and math.isfinite(payload[1])
+            ):
+                values.append(float(payload[1]))
+            else:
+                # A silent or garbled sender contributes our own value:
+                # never pulls us outside the correct range.
+                values.append(self.value)
+        values.sort()
+        trimmed = values[self.t : len(values) - self.t]
+        self.value = (trimmed[0] + trimmed[-1]) / 2
+        if round_ == self.total_rounds:
+            self.decide(self.value)
+
+
+def approximate_agreement_spec(
+    n: int,
+    t: int,
+    *,
+    rounds: int | None = None,
+    spread: float = 1.0,
+    epsilon: float = 1e-3,
+) -> ProtocolSpec:
+    """Approximate agreement as a spec (``n > 3t``).
+
+    Args:
+        rounds: explicit round count; default derives from
+            ``spread``/``epsilon`` via the halving analysis.
+        spread: expected initial spread of correct proposals.
+        epsilon: target closeness of decisions.
+    """
+    horizon = (
+        rounds
+        if rounds is not None
+        else rounds_for_precision(spread, epsilon)
+    )
+
+    def factory(
+        pid: ProcessId, proposal: Payload
+    ) -> ApproximateAgreementProcess:
+        return ApproximateAgreementProcess(
+            pid, n, t, proposal, rounds=horizon
+        )
+
+    return ProtocolSpec(
+        name=f"approximate-agreement(rounds={horizon})",
+        n=n,
+        t=t,
+        rounds=horizon,
+        factory=factory,
+        authenticated=False,
+    )

@@ -1,0 +1,78 @@
+"""FloodSet: crash-fault consensus by t+1 rounds of flooding ([82]).
+
+The textbook synchronous consensus for **crash** faults: for ``t + 1``
+rounds every process broadcasts the set of values it has seen; with at
+most ``t`` crashes, some round is crash-free, after which all correct
+processes hold identical sets — decide ``min``.
+
+Why it lives in this repository: §3's central difficulty is that this
+style of reasoning *breaks* in the omission model.  A crash is permanent
+and symmetric; a send-omission can target a single receiver in the last
+round, splitting the correct processes' sets after the "common round"
+argument has run out of rounds.  The test-suite demonstrates both faces:
+FloodSet is correct under every crash schedule (property-tested) and is
+split by one omission-faulty process — the same failure shape as the
+naive flooding weak consensus, and the reason the paper needs the far
+subtler isolation/merge machinery for its bound.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.protocols.base import ProtocolSpec
+from repro.sim.process import Process
+from repro.types import Payload, ProcessId, Round
+
+
+class FloodSetProcess(Process):
+    """One process of FloodSet (crash model, ``t < n``)."""
+
+    def __init__(
+        self, pid: ProcessId, n: int, t: int, proposal: Payload
+    ) -> None:
+        super().__init__(pid, n, t, proposal)
+        self.seen: set[Payload] = {proposal}
+
+    @property
+    def last_round(self) -> Round:
+        """``t + 1`` rounds guarantee a crash-free round."""
+        return self.t + 1
+
+    def outgoing(self, round_: Round) -> dict[ProcessId, Payload]:
+        if round_ > self.last_round:
+            return {}
+        payload = tuple(sorted(self.seen, key=repr))
+        return {
+            other: payload
+            for other in range(self.n)
+            if other != self.pid
+        }
+
+    def deliver(
+        self, round_: Round, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        if round_ > self.last_round:
+            return
+        for _, payload in sorted(received.items()):
+            if isinstance(payload, tuple):
+                self.seen.update(payload)
+        if round_ == self.last_round:
+            self.decide(min(self.seen, key=repr))
+
+
+def floodset_spec(n: int, t: int) -> ProtocolSpec:
+    """FloodSet as a spec.  Correct for crash faults only — see module
+    docstring for the omission-model counterexample."""
+
+    def factory(pid: ProcessId, proposal: Payload) -> FloodSetProcess:
+        return FloodSetProcess(pid, n, t, proposal)
+
+    return ProtocolSpec(
+        name="floodset",
+        n=n,
+        t=t,
+        rounds=t + 1,
+        factory=factory,
+        authenticated=False,
+    )

@@ -1,0 +1,93 @@
+"""Synchronous k-set agreement, crash model (§7; [24, 48, 49]).
+
+The second of the paper's "problems which do not require agreement":
+correct processes may decide up to ``k`` distinct values.  The classic
+crash-model algorithm is FloodSet cut short: flood value sets for only
+``⌊t/k⌋ + 1`` rounds and decide the minimum seen.  With at most ``t``
+crashes, some round among them sees at most ``k - 1`` crashes... more
+precisely, the pigeonhole over rounds bounds the surviving "information
+frontiers" by ``k``, so at most ``k`` distinct minima are decided — in
+exchange for a ``(t/k)``-fold latency saving over consensus.
+
+(Byzantine k-set agreement is far subtler — see [24] for a necessary
+condition — and out of scope, like the rest of the Byzantine beyond-
+agreement landscape the paper defers to future work.)
+
+k = 1 degenerates to FloodSet consensus; k >= t + 1 is solvable in a
+single round (everyone decides its own value after one exchange — or
+even zero rounds; we keep one round so the metric is non-trivial).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.protocols.base import ProtocolSpec
+from repro.sim.process import Process
+from repro.types import Payload, ProcessId, Round
+
+
+def kset_rounds(t: int, k: int) -> int:
+    """The crash-model round bound ``⌊t/k⌋ + 1``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return t // k + 1
+
+
+class KSetProcess(Process):
+    """One process of crash-model k-set agreement."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        proposal: Payload,
+        k: int,
+    ) -> None:
+        super().__init__(pid, n, t, proposal)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.seen: set[Payload] = {proposal}
+
+    @property
+    def last_round(self) -> Round:
+        return kset_rounds(self.t, self.k)
+
+    def outgoing(self, round_: Round) -> dict[ProcessId, Payload]:
+        if round_ > self.last_round:
+            return {}
+        payload = tuple(sorted(self.seen, key=repr))
+        return {
+            other: payload
+            for other in range(self.n)
+            if other != self.pid
+        }
+
+    def deliver(
+        self, round_: Round, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        if round_ > self.last_round:
+            return
+        for _, payload in sorted(received.items()):
+            if isinstance(payload, tuple):
+                self.seen.update(payload)
+        if round_ == self.last_round:
+            self.decide(min(self.seen, key=repr))
+
+
+def kset_spec(n: int, t: int, k: int) -> ProtocolSpec:
+    """Crash-model k-set agreement as a spec (horizon ``⌊t/k⌋ + 1``)."""
+
+    def factory(pid: ProcessId, proposal: Payload) -> KSetProcess:
+        return KSetProcess(pid, n, t, proposal, k=k)
+
+    return ProtocolSpec(
+        name=f"kset-agreement(k={k})",
+        n=n,
+        t=t,
+        rounds=kset_rounds(t, k),
+        factory=factory,
+        authenticated=False,
+    )

@@ -1,0 +1,198 @@
+"""The King algorithm: unauthenticated strong consensus for ``n > 3t``.
+
+The polynomial-message alternative to EIG (Berman–Garay–Perry lineage):
+``t+1`` phases of three rounds each, phase ``p`` presided over by king
+``p-1`` (0-based).  Within a phase, with all counts including one's own
+value/proposal:
+
+* **Value round** — everyone broadcasts its current value; a process that
+  sees some value ``y`` at least ``n - t`` times becomes a *supporter* of
+  ``y``.
+* **Proposal round** — supporters broadcast their proposal; a process that
+  sees more than ``t`` proposals for some ``z`` adopts ``z``; it also
+  remembers how many proposals backed ``z``.
+* **King round** — the phase king broadcasts its value; a process whose
+  proposal support was below ``n - t`` adopts the king's value instead
+  (or the default if the king stayed silent).
+
+Since ``2(n - t) > n + t``, two correct processes can never support
+different values in one phase, and ``> t`` proposals always include a
+correct supporter — so all adopted values agree.  A phase with a correct
+king leaves all correct processes with a common value, which then persists;
+with ``t+1`` phases some king is correct.  If all correct processes start
+with the same value they see it ``>= n - t`` times forever and never defer
+to any king — Strong Validity.
+
+Message complexity is Θ(t · n²), comfortably above the paper's ``t²/32``
+floor — measured in experiment E1/E7.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.protocols.base import ProtocolSpec
+from repro.sim.process import Process
+from repro.types import Payload, ProcessId, Round
+
+_VALUE, _PROPOSE, _KING = "value", "propose", "king"
+
+
+class PhaseKingProcess(Process):
+    """One process of the King algorithm (``n > 3t``)."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        proposal: Payload,
+        default: Payload = 0,
+    ) -> None:
+        if n <= 3 * t:
+            raise ValueError(
+                f"the King algorithm requires n > 3t, got n={n}, t={t}"
+            )
+        super().__init__(pid, n, t, proposal)
+        self.default = default
+        self.value = proposal
+        self._my_proposal: Payload | None = None
+        self._support = 0
+
+    @property
+    def phases(self) -> int:
+        """``t+1`` phases, one per potential king, ensuring a correct one."""
+        return self.t + 1
+
+    @property
+    def last_round(self) -> Round:
+        """Three rounds per phase."""
+        return 3 * self.phases
+
+    @staticmethod
+    def phase_and_step(round_: Round) -> tuple[int, int]:
+        """Map a 1-based round to ``(phase, step)``; steps are 0, 1, 2."""
+        return (round_ - 1) // 3 + 1, (round_ - 1) % 3
+
+    def king_of(self, phase: int) -> ProcessId:
+        """The king of ``phase`` (phases are 1-based, kings 0-based)."""
+        return (phase - 1) % self.n
+
+    def outgoing(self, round_: Round) -> dict[ProcessId, Payload]:
+        if round_ > self.last_round:
+            return {}
+        phase, step = self.phase_and_step(round_)
+        if step == 0:
+            return self._broadcast((_VALUE, self.value))
+        if step == 1:
+            if self._my_proposal is None:
+                return {}
+            return self._broadcast((_PROPOSE, self._my_proposal))
+        if self.king_of(phase) == self.pid:
+            return self._broadcast((_KING, self.value))
+        return {}
+
+    def _broadcast(self, payload: Payload) -> dict[ProcessId, Payload]:
+        return {
+            other: payload for other in range(self.n) if other != self.pid
+        }
+
+    def deliver(
+        self, round_: Round, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        if round_ > self.last_round:
+            return
+        phase, step = self.phase_and_step(round_)
+        if step == 0:
+            self._value_round(received)
+        elif step == 1:
+            self._proposal_round(received)
+        else:
+            self._king_round(phase, received)
+            if round_ == self.last_round:
+                self.decide(self.value)
+
+    def _tally(
+        self,
+        received: Mapping[ProcessId, Payload],
+        kind: str,
+        own: Payload | None,
+    ) -> dict[Payload, int]:
+        """Count well-formed ``kind`` payloads, including our own vote."""
+        counts: dict[Payload, int] = {}
+        if own is not None:
+            counts[own] = 1
+        for _, payload in sorted(received.items()):
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == kind
+            ):
+                value = payload[1]
+                counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def _value_round(
+        self, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        counts = self._tally(received, _VALUE, own=self.value)
+        self._my_proposal = None
+        for value, count in sorted(
+            counts.items(), key=lambda item: repr(item[0])
+        ):
+            if count >= self.n - self.t:
+                self._my_proposal = value
+                break
+
+    def _proposal_round(
+        self, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        counts = self._tally(received, _PROPOSE, own=self._my_proposal)
+        self._support = 0
+        best: Payload | None = None
+        for value, count in sorted(
+            counts.items(), key=lambda item: repr(item[0])
+        ):
+            if count > self._support:
+                self._support = count
+                best = value
+        if best is not None and self._support > self.t:
+            self.value = best
+        else:
+            self._support = 0
+
+    def _king_round(
+        self, phase: int, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        if self._support >= self.n - self.t:
+            return  # strong backing: ignore the king
+        king = self.king_of(phase)
+        if king == self.pid:
+            return  # the king keeps its own value
+        payload = received.get(king)
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == _KING
+        ):
+            self.value = payload[1]
+        else:
+            self.value = self.default
+
+
+def phase_king_spec(
+    n: int, t: int, default: Payload = 0
+) -> ProtocolSpec:
+    """The King algorithm as a :class:`ProtocolSpec` (``n > 3t``)."""
+
+    def factory(pid: ProcessId, proposal: Payload) -> PhaseKingProcess:
+        return PhaseKingProcess(pid, n, t, proposal, default=default)
+
+    return ProtocolSpec(
+        name="phase-king",
+        n=n,
+        t=t,
+        rounds=3 * (t + 1),
+        factory=factory,
+        authenticated=False,
+    )

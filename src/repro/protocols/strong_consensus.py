@@ -1,0 +1,135 @@
+"""Strong consensus wrappers (§1, §5.3).
+
+*Strong Validity*: if all **correct** processes propose the same value,
+that value must be decided.  Theorem 5 shows authenticated solvability
+requires ``n > 2t`` (via the containment condition failing at ``n = 2t``);
+the classical constructions used here need ``n > 3t`` (unauthenticated
+King algorithm / EIG) or majority-style reasoning for the authenticated
+variant built on interactive consistency.
+
+The authenticated variant is exactly the Lemma-9 recipe specialized to
+strong validity: run IC, then apply the Γ function "majority value of the
+decided vector, default otherwise".  For ``n > 2t`` the correct processes'
+``n - t > t`` slots dominate any admissible tie-break, realizing Strong
+Validity; Agreement and Termination come from IC.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.dolev_strong import SENDER_FAULTY
+from repro.protocols.eig import eig_consensus_spec
+from repro.protocols.interactive_consistency import authenticated_ic_spec
+from repro.protocols.phase_king import phase_king_spec
+from repro.sim.process import Process
+from repro.types import Payload, ProcessId, Round
+
+
+class ICMajorityConsensus(Process):
+    """Authenticated strong consensus: IC + majority-Γ (``n > 2t``)."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        proposal: Payload,
+        inner: Process,
+        default: Payload,
+    ) -> None:
+        if n <= 2 * t:
+            raise ValueError(
+                f"strong consensus requires n > 2t (Theorem 5), "
+                f"got n={n}, t={t}"
+            )
+        super().__init__(pid, n, t, proposal)
+        self.inner = inner
+        self.default = default
+
+    def outgoing(self, round_: Round) -> dict[ProcessId, Payload]:
+        return self.inner.outgoing(round_)
+
+    def deliver(
+        self, round_: Round, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        self.inner.deliver(round_, received)
+        vector = self.inner.decision
+        if vector is not None and self.decision is None:
+            self.decide(self._gamma(vector))
+
+    def _gamma(self, vector: Payload) -> Payload:
+        """Majority of the IC vector; any value proposed by ``> t`` slots
+        must be the unanimous correct proposal when one exists."""
+        if not isinstance(vector, tuple):
+            return self.default
+        counts: dict[Payload, int] = {}
+        for value in vector:
+            if value == SENDER_FAULTY:
+                continue
+            counts[value] = counts.get(value, 0) + 1
+        best: Payload | None = None
+        best_count = 0
+        for value, count in sorted(
+            counts.items(), key=lambda item: repr(item[0])
+        ):
+            if count > best_count:
+                best, best_count = value, count
+        if best is not None and best_count > self.t:
+            return best
+        return self.default
+
+
+def authenticated_strong_consensus_spec(
+    n: int,
+    t: int,
+    default: Payload = 0,
+    *,
+    seed: bytes | str = b"repro-strong",
+) -> ProtocolSpec:
+    """Authenticated strong consensus for ``n > 2t`` (IC + majority Γ)."""
+    if n <= 2 * t:
+        raise ValueError(
+            f"strong consensus requires n > 2t (Theorem 5), n={n}, t={t}"
+        )
+    ic = authenticated_ic_spec(n, t, seed=seed)
+
+    def factory(pid: ProcessId, proposal: Payload) -> ICMajorityConsensus:
+        return ICMajorityConsensus(
+            pid,
+            n,
+            t,
+            proposal,
+            inner=ic.factory(pid, proposal),
+            default=default,
+        )
+
+    return ProtocolSpec(
+        name="strong-consensus-ic",
+        n=n,
+        t=t,
+        rounds=ic.rounds,
+        factory=factory,
+        authenticated=True,
+    )
+
+
+def unauthenticated_strong_consensus_spec(
+    n: int, t: int, default: Payload = 0, *, algorithm: str = "phase-king"
+) -> ProtocolSpec:
+    """Unauthenticated strong consensus for ``n > 3t``.
+
+    Args:
+        algorithm: ``"phase-king"`` (polynomial messages) or ``"eig"``
+            (exponential messages, the textbook construction).
+    """
+    if algorithm == "phase-king":
+        return phase_king_spec(n, t, default=default).renamed(
+            "strong-consensus-phase-king"
+        )
+    if algorithm == "eig":
+        return eig_consensus_spec(n, t, default=default).renamed(
+            "strong-consensus-eig"
+        )
+    raise ValueError(f"unknown algorithm {algorithm!r}")

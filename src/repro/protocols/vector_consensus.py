@@ -1,0 +1,77 @@
+"""Vector consensus ([38] in §6): agree on the proposals of ≥ n-t
+processes.
+
+Implementation: run interactive consistency and publish the agreed vector
+with provably-faulty slots replaced by the public ``ABSENT`` marker.
+Sender Validity fills every correct slot with the true proposal, so at
+least ``n - t`` slots are present; per-instance Agreement makes the whole
+vector common.
+
+The paper's relevance: vector consensus is yet another non-trivial
+agreement problem, hence (Theorem 3) yet another `Ω(t²)` customer — the
+test-suite wires it through the Algorithm-1 reduction to prove the point
+constructively.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.dolev_strong import SENDER_FAULTY
+from repro.protocols.interactive_consistency import authenticated_ic_spec
+from repro.sim.process import Process
+from repro.validity.standard import ABSENT
+from repro.types import Payload, ProcessId, Round
+
+
+class VectorConsensusProcess(Process):
+    """IC with faulty slots publicly marked ``ABSENT``."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        proposal: Payload,
+        inner: Process,
+    ) -> None:
+        super().__init__(pid, n, t, proposal)
+        self.inner = inner
+
+    def outgoing(self, round_: Round) -> dict[ProcessId, Payload]:
+        return self.inner.outgoing(round_)
+
+    def deliver(
+        self, round_: Round, received: Mapping[ProcessId, Payload]
+    ) -> None:
+        self.inner.deliver(round_, received)
+        vector = self.inner.decision
+        if vector is not None and self.decision is None:
+            self.decide(
+                tuple(
+                    ABSENT if slot == SENDER_FAULTY else slot
+                    for slot in vector
+                )
+            )
+
+
+def vector_consensus_spec(
+    n: int, t: int, *, seed: bytes | str = b"repro-vc"
+) -> ProtocolSpec:
+    """Authenticated vector consensus for any ``t < n``."""
+    ic = authenticated_ic_spec(n, t, seed=seed)
+
+    def factory(pid: ProcessId, proposal: Payload) -> VectorConsensusProcess:
+        return VectorConsensusProcess(
+            pid, n, t, proposal, inner=ic.factory(pid, proposal)
+        )
+
+    return ProtocolSpec(
+        name="vector-consensus",
+        n=n,
+        t=t,
+        rounds=ic.rounds,
+        factory=factory,
+        authenticated=True,
+    )

@@ -1,0 +1,50 @@
+"""The paper's reductions as protocol combinators.
+
+* :mod:`repro.reductions.weak_from_any` — Algorithm 1: weak consensus from
+  any solvable non-trivial agreement problem at zero message cost (the
+  engine of Theorem 3).
+* :mod:`repro.reductions.any_from_ic` — Algorithm 2: any containment-
+  condition problem from interactive consistency (sufficiency of CC,
+  Lemma 9).
+* :mod:`repro.reductions.ic_from_bb` — IC from n parallel broadcasts
+  (classical, §6).
+"""
+
+from repro.reductions.any_from_ic import GammaOverIC, solve_via_ic
+from repro.reductions.bb_from_consensus import (
+    NO_SENDER_VALUE,
+    BroadcastViaConsensus,
+    broadcast_from_consensus,
+)
+from repro.reductions.ic_from_bb import (
+    amortization_ratio,
+    ic_from_broadcasts,
+    single_broadcast_baseline,
+)
+from repro.reductions.weak_from_any import (
+    ReductionPlan,
+    WeakConsensusViaReduction,
+    derive_plan,
+    plan_from_executions,
+    reduce_weak_consensus,
+    reduce_weak_consensus_from_executions,
+    reduction_spec,
+)
+
+__all__ = [
+    "BroadcastViaConsensus",
+    "GammaOverIC",
+    "NO_SENDER_VALUE",
+    "ReductionPlan",
+    "broadcast_from_consensus",
+    "WeakConsensusViaReduction",
+    "amortization_ratio",
+    "derive_plan",
+    "ic_from_broadcasts",
+    "plan_from_executions",
+    "reduce_weak_consensus",
+    "reduce_weak_consensus_from_executions",
+    "reduction_spec",
+    "single_broadcast_baseline",
+    "solve_via_ic",
+]

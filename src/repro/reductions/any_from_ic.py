@@ -1,0 +1,119 @@
+"""Algorithm 2: any CC problem from interactive consistency (Lemma 9).
+
+The sufficiency half of the general solvability theorem, made executable:
+given a problem P satisfying the containment condition, run IC on the raw
+proposals and decide ``Γ(vec)`` on the agreed vector.
+
+* Termination / Agreement — inherited from IC.
+* Validity — IC-Validity gives ``vec ⊇ c`` (the real input configuration),
+  and Definition 3 then puts ``Γ(vec)`` inside ``val(c)``.
+
+One engineering detail the paper's idealized IC elides: concrete IC
+implementations mark provably-faulty slots with values outside ``V_I``
+(Dolev–Strong's ``SENDER_FAULTY``) or may carry Byzantine garbage in
+faulty slots.  Since ``Γ`` is tabulated over ``I`` (vectors over ``V_I``),
+such slots are *sanitized* to a fixed default input value first.  This is
+sound: sanitizing never touches correct processes' slots, so the sanitized
+vector still contains ``c``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsolvableProblemError
+from repro.protocols.base import DelegatingProcess, ProtocolSpec
+from repro.protocols.interactive_consistency import ic_spec
+from repro.solvability.cc import GammaFunction, containment_condition
+from repro.validity.input_config import InputConfig
+from repro.validity.property import AgreementProblem
+from repro.types import Payload, ProcessId
+
+
+class GammaOverIC(DelegatingProcess):
+    """The per-process combinator of Algorithm 2."""
+
+    def __init__(
+        self,
+        inner,
+        proposal: Payload,
+        problem: AgreementProblem,
+        gamma: GammaFunction,
+        sanitize_to: Payload,
+    ) -> None:
+        super().__init__(inner, proposal)
+        self._problem = problem
+        self._gamma = gamma
+        self._sanitize_to = sanitize_to
+
+    def translate_decision(self, inner_decision: Payload) -> Payload:
+        vector = self._sanitized(inner_decision)
+        config = InputConfig.full(
+            self._problem.n, self._problem.t, vector
+        )
+        return self._gamma(config)
+
+    def _sanitized(self, inner_decision: Payload) -> list[Payload]:
+        allowed = set(self._problem.input_values)
+        if not isinstance(inner_decision, tuple) or len(
+            inner_decision
+        ) != self._problem.n:
+            # IC's Agreement makes this common to all correct processes,
+            # so even a degenerate inner decision cannot split them.
+            return [self._sanitize_to] * self._problem.n
+        return [
+            value if value in allowed else self._sanitize_to
+            for value in inner_decision
+        ]
+
+
+def solve_via_ic(
+    problem: AgreementProblem,
+    *,
+    authenticated: bool,
+    seed: bytes | str = b"repro-alg2",
+) -> ProtocolSpec:
+    """Build a protocol solving ``problem`` via IC + Γ (Lemma 9).
+
+    Args:
+        problem: a (finite-domain) agreement problem.
+        authenticated: which Theorem-4 branch to realize; the
+            unauthenticated branch requires ``n > 3t``.
+
+    Raises:
+        UnsolvableProblemError: if the containment condition fails, or the
+            unauthenticated branch is requested with ``n <= 3t`` (the
+            problem may still be trivial — solve those with a constant).
+    """
+    report = containment_condition(problem)
+    gamma = report.gamma_fn()  # raises UnsolvableProblemError on CC failure
+    if not authenticated and problem.n <= 3 * problem.t:
+        raise UnsolvableProblemError(
+            f"{problem.name}: unauthenticated solvability requires "
+            f"n > 3t (Theorem 4); got n={problem.n}, t={problem.t}"
+        )
+    default_input = problem.input_values[0]
+    inner_spec = ic_spec(
+        problem.n,
+        problem.t,
+        authenticated=authenticated,
+        default=default_input,
+        seed=seed,
+    )
+
+    def factory(pid: ProcessId, proposal: Payload) -> GammaOverIC:
+        return GammaOverIC(
+            inner_spec.factory(pid, proposal),
+            proposal,
+            problem=problem,
+            gamma=gamma,
+            sanitize_to=default_input,
+        )
+
+    return ProtocolSpec(
+        name=f"{problem.name}-via-ic"
+        + ("-auth" if authenticated else "-unauth"),
+        n=problem.n,
+        t=problem.t,
+        rounds=inner_spec.rounds,
+        factory=factory,
+        authenticated=authenticated,
+    )

@@ -1,0 +1,237 @@
+"""Algorithm 1: weak consensus from any non-trivial problem (§4.2).
+
+The zero-message reduction behind the general lower bound (Theorem 3).
+Fix an algorithm 𝒜 solving a non-trivial problem P.  Pick:
+
+* ``c_0 ∈ I_n`` — any all-correct input configuration; let ``v_0'`` be the
+  value 𝒜 decides in the fault-free execution ``E_0`` with proposals
+  ``c_0`` (fault-free executions are determined by the proposals, since
+  machines are deterministic);
+* ``c_1* ∈ I`` with ``v_0' ∉ val(c_1*)`` — exists because P is
+  non-trivial; and ``c_1 ∈ I_n`` containing ``c_1*``; Lemma 7 forces the
+  fault-free decision ``v_1'`` under ``c_1`` to differ from ``v_0'``
+  (Lemma 17).
+
+Then weak consensus is: propose ``c_0[i]`` to 𝒜 on input 0 and ``c_1[i]``
+on input 1; decide 0 iff 𝒜 decided ``v_0'``.  Not a single extra message.
+
+Two entry points:
+
+* :func:`reduce_weak_consensus` — derives ``(c_0, c_1, v_0')`` from the
+  problem's validity property by enumeration (the paper's existence
+  argument made constructive).
+* :func:`reduce_weak_consensus_from_executions` — the §4.3 / Corollary 1
+  form: the caller supplies two all-correct proposal vectors whose
+  fault-free decisions differ (External Validity cannot be expressed in
+  the formalism, but any algorithm with two differing fully-correct
+  executions is still subject to the bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TrivialProblemError, UnsolvableProblemError
+from repro.protocols.base import DelegatingProcess, ProtocolSpec
+from repro.validity.input_config import InputConfig
+from repro.validity.property import AgreementProblem
+from repro.types import Bit, Payload, ProcessId
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """The constants Algorithm 1 is instantiated with (Table 2).
+
+    Attributes:
+        proposals_for_zero: the full configuration ``c_0`` as a vector.
+        proposals_for_one: the full configuration ``c_1`` as a vector.
+        v0: the fault-free decision under ``c_0`` (``v_0'``).
+        v1: the fault-free decision under ``c_1`` (``v_1' ≠ v_0'``).
+    """
+
+    proposals_for_zero: tuple[Payload, ...]
+    proposals_for_one: tuple[Payload, ...]
+    v0: Payload
+    v1: Payload
+
+
+class WeakConsensusViaReduction(DelegatingProcess):
+    """The per-process combinator of Algorithm 1."""
+
+    def __init__(
+        self,
+        inner,
+        outer_proposal: Bit,
+        v0: Payload,
+    ) -> None:
+        super().__init__(inner, outer_proposal)
+        self._v0 = v0
+
+    def translate_decision(self, inner_decision: Payload) -> Bit:
+        return 0 if inner_decision == self._v0 else 1
+
+
+def plan_from_executions(
+    spec: ProtocolSpec,
+    proposals_zero: Sequence[Payload],
+    proposals_one: Sequence[Payload],
+) -> ReductionPlan:
+    """Build a plan from two all-correct runs with differing decisions.
+
+    Runs the two fault-free executions, reads off their decisions, and
+    checks they differ (the Corollary-1 hypothesis).
+
+    Raises:
+        UnsolvableProblemError: if either run fails to decide unanimously
+            within the horizon, or the two decisions coincide (then this
+            algorithm cannot anchor the reduction).
+    """
+    v0 = _fault_free_decision(spec, proposals_zero)
+    v1 = _fault_free_decision(spec, proposals_one)
+    if v0 == v1:
+        raise UnsolvableProblemError(
+            "the two fully-correct executions decide the same value "
+            f"({v0!r}); the reduction needs them to differ"
+        )
+    return ReductionPlan(
+        proposals_for_zero=tuple(proposals_zero),
+        proposals_for_one=tuple(proposals_one),
+        v0=v0,
+        v1=v1,
+    )
+
+
+def _fault_free_decision(
+    spec: ProtocolSpec, proposals: Sequence[Payload]
+) -> Payload:
+    execution = spec.run(list(proposals))
+    decisions = set(execution.decisions().values())
+    if None in decisions:
+        raise UnsolvableProblemError(
+            f"{spec.name}: some process undecided in a fault-free run "
+            f"(Termination violated within {spec.rounds} rounds)"
+        )
+    if len(decisions) != 1:
+        raise UnsolvableProblemError(
+            f"{spec.name}: fault-free run disagrees: {decisions}"
+        )
+    return next(iter(decisions))
+
+
+def derive_plan(
+    spec: ProtocolSpec, problem: AgreementProblem
+) -> ReductionPlan:
+    """Derive (c_0, c_1, v_0', v_1') from the validity property (Table 2).
+
+    ``c_0`` is the all-first-value configuration.  ``c_1*`` is found by
+    scanning ``I`` for a configuration where ``v_0'`` is inadmissible
+    under the Lemma-7 intersection; ``c_1`` extends it to ``I_n`` with the
+    first input value on the missing processes (containment is preserved
+    because extension never changes existing pairs).
+
+    Raises:
+        TrivialProblemError: if no such ``c_1*`` exists — then ``v_0'`` is
+            always admissible and the problem is trivial, where the
+            reduction (and the lower bound) rightly does not apply.
+    """
+    if (spec.n, spec.t) != (problem.n, problem.t):
+        raise ValueError(
+            f"spec is for (n={spec.n}, t={spec.t}) but problem for "
+            f"(n={problem.n}, t={problem.t})"
+        )
+    base_value = problem.input_values[0]
+    proposals_zero = tuple([base_value] * problem.n)
+    v0 = _fault_free_decision(spec, proposals_zero)
+    c1_star = _find_excluding_config(problem, v0)
+    if c1_star is None:
+        raise TrivialProblemError(
+            f"{problem.name}: {v0!r} is admissible under every input "
+            "configuration — the problem is trivial in that direction "
+            "and the reduction does not apply"
+        )
+    filled = c1_star.as_mapping()
+    for pid in range(problem.n):
+        filled.setdefault(pid, base_value)
+    proposals_one = tuple(
+        filled[pid] for pid in range(problem.n)
+    )
+    v1 = _fault_free_decision(spec, proposals_one)
+    if v1 == v0:
+        raise UnsolvableProblemError(
+            f"{spec.name} decided {v0!r} under {proposals_one!r}, which "
+            f"Lemma 7 forbids — the algorithm does not solve "
+            f"{problem.name}"
+        )
+    return ReductionPlan(
+        proposals_for_zero=proposals_zero,
+        proposals_for_one=proposals_one,
+        v0=v0,
+        v1=v1,
+    )
+
+
+def _find_excluding_config(
+    problem: AgreementProblem, value: Payload
+) -> InputConfig | None:
+    """Some ``c*`` with ``value ∉ val(c*)`` — or ``None`` (trivial axis).
+
+    Scanning plain admissibility suffices: if ``value ∈ val(c)`` for all
+    ``c``, the problem is trivial in the ``value`` direction.
+    """
+    for config in problem.input_configs():
+        if value not in problem.admissible(config):
+            return config
+    return None
+
+
+def reduction_spec(
+    spec: ProtocolSpec, plan: ReductionPlan
+) -> ProtocolSpec:
+    """Algorithm 1 as a :class:`ProtocolSpec` solving weak consensus.
+
+    The returned spec has the *same* horizon and — by construction — the
+    same message complexity as ``spec``: the combinator only relabels
+    proposals and decisions.
+    """
+
+    def factory(pid: ProcessId, outer_proposal: Payload) -> WeakConsensusViaReduction:
+        if outer_proposal == 0:
+            inner_proposal = plan.proposals_for_zero[pid]
+        else:
+            inner_proposal = plan.proposals_for_one[pid]
+        inner = spec.factory(pid, inner_proposal)
+        return WeakConsensusViaReduction(
+            inner, outer_proposal, v0=plan.v0
+        )
+
+    return ProtocolSpec(
+        name=f"weak-consensus-via({spec.name})",
+        n=spec.n,
+        t=spec.t,
+        rounds=spec.rounds,
+        factory=factory,
+        authenticated=spec.authenticated,
+    )
+
+
+def reduce_weak_consensus(
+    spec: ProtocolSpec, problem: AgreementProblem
+) -> ProtocolSpec:
+    """Weak consensus from an algorithm solving a non-trivial problem."""
+    return reduction_spec(spec, derive_plan(spec, problem))
+
+
+def reduce_weak_consensus_from_executions(
+    spec: ProtocolSpec,
+    proposals_zero: Sequence[Payload],
+    proposals_one: Sequence[Payload],
+) -> ProtocolSpec:
+    """Weak consensus anchored on two differing fully-correct executions.
+
+    The Corollary-1 route for problems (like External Validity) outside
+    the §4.1 formalism.
+    """
+    return reduction_spec(
+        spec, plan_from_executions(spec, proposals_zero, proposals_one)
+    )

@@ -1,0 +1,132 @@
+"""Synchronous round simulator and the Appendix-A execution formalism.
+
+Public surface:
+
+* :class:`~repro.sim.message.Message` — model messages.
+* :class:`~repro.sim.state.StateSnapshot`, :class:`~repro.sim.state.Fragment`,
+  :class:`~repro.sim.state.Behavior` — the observer's records (A.1.2–A.1.5).
+* :class:`~repro.sim.execution.Execution` and
+  :func:`~repro.sim.execution.check_execution` — executions and their
+  validity conditions (A.1.6).
+* :class:`~repro.sim.process.Process` — deterministic state machines.
+* :class:`~repro.sim.adversary.Adversary` and friends — static adversaries.
+* :func:`~repro.sim.simulator.run_execution` — the round loop.
+* :class:`~repro.sim.metrics.ComplexityReport` — message accounting (§2).
+"""
+
+from repro.sim.adversary import (
+    AdaptiveOmissionAdversary,
+    Adversary,
+    ByzantineAdversary,
+    ChattiestTargetAdversary,
+    CrashAdversary,
+    NoFaults,
+    OmissionSchedule,
+    ScheduledOmissionAdversary,
+    SilenceAdversary,
+    compose_omissions,
+)
+from repro.sim.execution import (
+    Execution,
+    ExecutionSummary,
+    check_execution,
+    check_transitions,
+    group_decisions,
+    majority_decision,
+    unanimous_decision,
+)
+from repro.sim.message import Message, broadcast_payload
+from repro.sim.metrics import (
+    ComplexityReport,
+    count_signatures,
+    dolev_reischuk_floor,
+    dolev_reischuk_signature_floor,
+    meets_lower_bound,
+    quadratic_ratio,
+    signature_complexity,
+    weak_consensus_floor,
+)
+from repro.sim.process import (
+    Process,
+    ProcessFactory,
+    ReplayProcess,
+    drive_replay,
+)
+from repro.sim.serialization import (
+    dump_execution,
+    dump_witness,
+    execution_from_dict,
+    execution_to_dict,
+    load_execution,
+    load_witness,
+)
+from repro.sim.simulator import (
+    SimulationConfig,
+    all_correct_decided,
+    decisions_by_value,
+    run_execution,
+    run_with_uniform_proposal,
+)
+from repro.sim.state import (
+    Behavior,
+    Fragment,
+    StateSnapshot,
+    behavior_from_fragments,
+    behaviors_indistinguishable,
+    check_behavior,
+    check_fragment,
+    initial_state,
+)
+
+__all__ = [
+    "AdaptiveOmissionAdversary",
+    "Adversary",
+    "Behavior",
+    "ByzantineAdversary",
+    "ChattiestTargetAdversary",
+    "ComplexityReport",
+    "CrashAdversary",
+    "Execution",
+    "ExecutionSummary",
+    "Fragment",
+    "Message",
+    "NoFaults",
+    "OmissionSchedule",
+    "Process",
+    "ProcessFactory",
+    "ReplayProcess",
+    "ScheduledOmissionAdversary",
+    "SilenceAdversary",
+    "SimulationConfig",
+    "StateSnapshot",
+    "all_correct_decided",
+    "behavior_from_fragments",
+    "behaviors_indistinguishable",
+    "broadcast_payload",
+    "check_behavior",
+    "check_execution",
+    "check_fragment",
+    "check_transitions",
+    "compose_omissions",
+    "count_signatures",
+    "decisions_by_value",
+    "dolev_reischuk_floor",
+    "dolev_reischuk_signature_floor",
+    "dump_execution",
+    "dump_witness",
+    "execution_from_dict",
+    "execution_to_dict",
+    "load_execution",
+    "load_witness",
+    "signature_complexity",
+    "weak_consensus_floor",
+    "drive_replay",
+    "group_decisions",
+    "initial_state",
+    "majority_decision",
+    "meets_lower_bound",
+    "quadratic_ratio",
+    "run_execution",
+    "run_with_uniform_proposal",
+    "unanimous_decision",
+]

@@ -1,0 +1,323 @@
+"""Static adversaries (§2, §3).
+
+The paper's adversary is *static*: it corrupts up to ``t`` processes before
+the execution starts.  Two failure models are used:
+
+* **Omission failures** (§3): corrupted processes still run their state
+  machine, but the adversary may *send-omit* or *receive-omit* individual
+  messages of corrupted processes.  Corrupted processes are unaware of the
+  omissions they commit.
+* **Byzantine failures** (§2): corrupted processes behave arbitrarily; here
+  the adversary replaces their state machine wholesale.
+
+:class:`Adversary` is the interface the simulator consults.  For each
+message of a corrupted sender it asks :meth:`Adversary.send_omits`; for
+each message addressed to a corrupted receiver it asks
+:meth:`Adversary.receive_omits`; and for each corrupted process it may
+substitute a machine via :meth:`Adversary.corrupt_machine`.  Omission
+adversaries leave :meth:`corrupt_machine` at its default (no substitution),
+which is exactly the statement that omission-faulty processes are honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import AdversaryError
+from repro.sim.message import Message
+from repro.sim.process import Process, ProcessFactory
+from repro.types import Payload, ProcessId, Round
+
+
+class Adversary:
+    """Base adversary: corrupts a fixed set, never interferes.
+
+    With ``corrupted = frozenset()`` this is the no-fault adversary (used
+    for the paper's fully correct executions such as ``E_0``).
+    """
+
+    def __init__(self, corrupted: Iterable[ProcessId] = ()) -> None:
+        self._corrupted = frozenset(corrupted)
+
+    @property
+    def corrupted(self) -> frozenset[ProcessId]:
+        """The static set of corrupted processes (the paper's ``F``)."""
+        return self._corrupted
+
+    def validate_budget(self, n: int, t: int) -> None:
+        """Raise unless the corruption set fits the budget ``t``.
+
+        Raises:
+            AdversaryError: if more than ``t`` processes are corrupted or a
+                corrupted id is out of range.
+        """
+        if len(self._corrupted) > t:
+            raise AdversaryError(
+                f"adversary corrupts {len(self._corrupted)} > t={t}"
+            )
+        for pid in self._corrupted:
+            if not 0 <= pid < n:
+                raise AdversaryError(f"corrupted id {pid} outside range({n})")
+
+    def send_omits(self, message: Message) -> bool:
+        """Whether ``message`` (from a corrupted sender) is send-omitted."""
+        return False
+
+    def receive_omits(self, message: Message) -> bool:
+        """Whether ``message`` (to a corrupted receiver) is receive-omitted."""
+        return False
+
+    def corrupt_machine(
+        self, pid: ProcessId, honest_factory: ProcessFactory, proposal: Payload
+    ) -> Process | None:
+        """A replacement machine for corrupted ``pid``, or ``None``.
+
+        Returning ``None`` keeps the honest machine running (omission
+        model).  Byzantine adversaries return an arbitrary machine; it may
+        be built around the honest factory (e.g. to deviate only late).
+        """
+        return None
+
+    def begin_round(self, round_: Round) -> None:
+        """Hook called at the start of each round (adaptive adversaries).
+
+        A static adversary ignores it.  An adaptive one may corrupt
+        additional processes here, based on what :meth:`observe_round`
+        showed it in *earlier* rounds (the paper's footnote 1: a lower
+        bound for the static adversary trivially applies to the stronger
+        adaptive one, so adaptivity is an optional extra, not a different
+        model).  Newly corrupted processes keep their honest machines
+        (adaptive corruption is omission-only here — Byzantine machine
+        substitution is fixed before round 1).
+        """
+        return None
+
+    def observe_round(
+        self, round_: Round, sent: frozenset[Message]
+    ) -> None:
+        """Hook called after each round with the round's sent messages.
+
+        Gives adaptive adversaries the global traffic view.  Note the
+        ordering: omission decisions for round ``k`` are made *before*
+        ``observe_round(k, ...)`` fires, i.e. this models a non-rushing
+        adaptive adversary (it cannot react to a round's messages within
+        that round — the strongly rushing variant of [3] is out of
+        scope)."""
+        return None
+
+
+NoFaults = Adversary
+"""Alias: an adversary with an empty corruption set."""
+
+
+@dataclass(frozen=True)
+class OmissionSchedule:
+    """An explicit omission schedule: which message slots are dropped.
+
+    ``send_drops`` and ``receive_drops`` are predicates over messages; they
+    are consulted only for corrupted senders/receivers respectively.  Using
+    predicates (rather than enumerated slots) lets schedules cover
+    executions of unknown length, e.g. "drop everything from round k on".
+    """
+
+    send_drops: Callable[[Message], bool]
+    receive_drops: Callable[[Message], bool]
+
+
+class ScheduledOmissionAdversary(Adversary):
+    """Omission adversary driven by an :class:`OmissionSchedule`."""
+
+    def __init__(
+        self,
+        corrupted: Iterable[ProcessId],
+        schedule: OmissionSchedule,
+    ) -> None:
+        super().__init__(corrupted)
+        self._schedule = schedule
+
+    def send_omits(self, message: Message) -> bool:
+        return self._schedule.send_drops(message)
+
+    def receive_omits(self, message: Message) -> bool:
+        return self._schedule.receive_drops(message)
+
+
+class CrashAdversary(Adversary):
+    """Crash faults expressed as omissions (a strict subset of omission).
+
+    A process crashing in round ``k`` send-omits every message from round
+    ``k`` onward and receive-omits everything from round ``k`` onward.
+    (A crash that loses only part of a round's sends can be expressed with
+    a :class:`ScheduledOmissionAdversary`.)
+    """
+
+    def __init__(self, crash_rounds: Mapping[ProcessId, Round]) -> None:
+        super().__init__(crash_rounds.keys())
+        self._crash_rounds = dict(crash_rounds)
+
+    def send_omits(self, message: Message) -> bool:
+        crash = self._crash_rounds.get(message.sender)
+        return crash is not None and message.round >= crash
+
+    def receive_omits(self, message: Message) -> bool:
+        crash = self._crash_rounds.get(message.receiver)
+        return crash is not None and message.round >= crash
+
+
+class SilenceAdversary(Adversary):
+    """Corrupted processes send nothing at all (full send-omission).
+
+    The classic "mute" Byzantine behaviour, expressible already in the
+    omission model.  Receiving is unaffected.
+    """
+
+    def send_omits(self, message: Message) -> bool:
+        return message.sender in self.corrupted
+
+
+class AdaptiveOmissionAdversary(Adversary):
+    """Base class for adaptive omission adversaries (footnote 1).
+
+    Starts with an empty corruption set and may corrupt up to ``budget``
+    processes *during* the run via :meth:`corrupt`, typically from a
+    :meth:`begin_round` override reacting to earlier traffic.  The
+    corruption set is monotone (processes are never un-corrupted), and
+    omission decisions are delegated to the usual predicates, consulted
+    only for currently corrupted parties.
+    """
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(())
+        if budget < 0:
+            raise AdversaryError(f"negative budget {budget}")
+        self._budget = budget
+        self._adaptive_corrupted: set[ProcessId] = set()
+
+    @property
+    def corrupted(self) -> frozenset[ProcessId]:
+        return frozenset(self._adaptive_corrupted)
+
+    @property
+    def budget(self) -> int:
+        """The maximum number of processes this adversary may corrupt."""
+        return self._budget
+
+    def corrupt(self, pid: ProcessId) -> None:
+        """Corrupt ``pid`` now (idempotent).
+
+        Raises:
+            AdversaryError: if the budget is exhausted.
+        """
+        if pid in self._adaptive_corrupted:
+            return
+        if len(self._adaptive_corrupted) >= self._budget:
+            raise AdversaryError(
+                f"adaptive budget {self._budget} exhausted"
+            )
+        self._adaptive_corrupted.add(pid)
+
+    def validate_budget(self, n: int, t: int) -> None:
+        if self._budget > t:
+            raise AdversaryError(
+                f"adaptive budget {self._budget} exceeds t={t}"
+            )
+
+
+class ChattiestTargetAdversary(AdaptiveOmissionAdversary):
+    """A concrete adaptive strategy: silence whoever talks the most.
+
+    After each round it corrupts the not-yet-corrupted process that has
+    sent the most messages so far (ties to the highest id) and
+    send-omits everything it says from the next round on — an adaptive
+    "shoot the messenger" attack.  Deterministic, so executions remain
+    reproducible.
+    """
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(budget)
+        self._sent_counts: dict[ProcessId, int] = {}
+        self._silenced_from: dict[ProcessId, Round] = {}
+
+    def observe_round(
+        self, round_: Round, sent: frozenset[Message]
+    ) -> None:
+        for message in sent:
+            self._sent_counts[message.sender] = (
+                self._sent_counts.get(message.sender, 0) + 1
+            )
+        if len(self.corrupted) >= self.budget or not self._sent_counts:
+            return
+        candidates = sorted(
+            (
+                (count, pid)
+                for pid, count in self._sent_counts.items()
+                if pid not in self.corrupted
+            ),
+            reverse=True,
+        )
+        if candidates:
+            _, target = candidates[0]
+            self.corrupt(target)
+            self._silenced_from[target] = round_ + 1
+
+    def send_omits(self, message: Message) -> bool:
+        silenced = self._silenced_from.get(message.sender)
+        return silenced is not None and message.round >= silenced
+
+
+class ByzantineAdversary(Adversary):
+    """Replaces corrupted processes' machines with arbitrary strategies.
+
+    Args:
+        strategies: for each corrupted process, a callable
+            ``(pid, honest_factory, proposal) -> Process`` building the
+            malicious machine.  Processes corrupted without a strategy run
+            the honest machine (i.e. they are corrupted in name only, which
+            is allowed: Byzantine processes *may* behave correctly).
+    """
+
+    def __init__(
+        self,
+        corrupted: Iterable[ProcessId],
+        strategies: Mapping[
+            ProcessId,
+            Callable[[ProcessId, ProcessFactory, Payload], Process],
+        ] | None = None,
+    ) -> None:
+        super().__init__(corrupted)
+        self._strategies = dict(strategies or {})
+        unknown = set(self._strategies) - self._corrupted
+        if unknown:
+            raise AdversaryError(
+                f"strategies given for non-corrupted processes {sorted(unknown)}"
+            )
+
+    def corrupt_machine(
+        self, pid: ProcessId, honest_factory: ProcessFactory, proposal: Payload
+    ) -> Process | None:
+        strategy = self._strategies.get(pid)
+        if strategy is None:
+            return None
+        return strategy(pid, honest_factory, proposal)
+
+
+def compose_omissions(
+    corrupted: Iterable[ProcessId],
+    *adversaries: Adversary,
+) -> Adversary:
+    """An omission adversary that drops a message iff any component does.
+
+    Used to combine, e.g., the isolation of two disjoint groups B and C in
+    the merged executions of §3 into a single adversary object.
+    """
+    parts = tuple(adversaries)
+
+    class _Composed(Adversary):
+        def send_omits(self, message: Message) -> bool:
+            return any(part.send_omits(message) for part in parts)
+
+        def receive_omits(self, message: Message) -> bool:
+            return any(part.receive_omits(message) for part in parts)
+
+    return _Composed(corrupted)

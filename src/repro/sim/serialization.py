@@ -1,0 +1,295 @@
+"""JSON serialization for executions and violation witnesses.
+
+A violation witness is only as useful as its portability: a third party
+should be able to load the counterexample and re-run the checks without
+re-running the attack.  This module round-trips the full Appendix-A
+record — executions, behaviors, fragments, messages — through plain JSON.
+
+Payloads are arbitrary hashables in memory; the codec covers the closed
+set of types the library's protocols actually put on the wire:
+
+* ``None``, ``bool``, ``int``, ``str``, ``bytes``;
+* ``tuple`` and ``frozenset`` of codable values;
+* :class:`~repro.crypto.signatures.Signature` and
+  :class:`~repro.crypto.chains.SignedChain`;
+* :class:`~repro.protocols.external_validity.Transaction`.
+
+Unknown types raise :class:`~repro.errors.ReproError` at encode time —
+fail loudly rather than write an artifact that cannot be reloaded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.sim.execution import Execution
+from repro.sim.message import Message
+from repro.sim.state import Behavior, Fragment, StateSnapshot
+
+FORMAT_VERSION = 1
+
+
+def encode_payload(value: Any) -> Any:
+    """Encode one payload value into JSON-safe structures."""
+    from repro.crypto.chains import SignedChain
+    from repro.crypto.signatures import Signature
+    from repro.protocols.external_validity import Transaction
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return {"k": "lit", "v": value}
+    if isinstance(value, bytes):
+        return {"k": "bytes", "v": value.hex()}
+    if isinstance(value, Signature):
+        return {
+            "k": "sig",
+            "signer": value.signer,
+            "tag": value.tag.hex(),
+        }
+    if isinstance(value, SignedChain):
+        return {
+            "k": "chain",
+            "instance": encode_payload(value.instance),
+            "value": encode_payload(value.value),
+            "signatures": [
+                encode_payload(signature)
+                for signature in value.signatures
+            ],
+        }
+    if isinstance(value, Transaction):
+        return {
+            "k": "tx",
+            "client": value.client,
+            "body": encode_payload(value.body),
+            "signature": encode_payload(value.signature),
+        }
+    if isinstance(value, tuple):
+        return {
+            "k": "tuple",
+            "v": [encode_payload(element) for element in value],
+        }
+    if isinstance(value, frozenset):
+        encoded = [encode_payload(element) for element in value]
+        encoded.sort(key=json.dumps)  # determinism
+        return {"k": "fset", "v": encoded}
+    raise ReproError(
+        f"cannot serialize payload of type {type(value).__name__}"
+    )
+
+
+def decode_payload(data: Any) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    from repro.crypto.chains import SignedChain
+    from repro.crypto.signatures import Signature
+    from repro.protocols.external_validity import Transaction
+
+    if not isinstance(data, dict) or "k" not in data:
+        raise ReproError(f"malformed payload record: {data!r}")
+    kind = data["k"]
+    if kind == "lit":
+        return data["v"]
+    if kind == "bytes":
+        return bytes.fromhex(data["v"])
+    if kind == "sig":
+        return Signature(
+            signer=data["signer"], tag=bytes.fromhex(data["tag"])
+        )
+    if kind == "chain":
+        return SignedChain(
+            instance=decode_payload(data["instance"]),
+            value=decode_payload(data["value"]),
+            signatures=tuple(
+                decode_payload(signature)
+                for signature in data["signatures"]
+            ),
+        )
+    if kind == "tx":
+        return Transaction(
+            client=data["client"],
+            body=decode_payload(data["body"]),
+            signature=decode_payload(data["signature"]),
+        )
+    if kind == "tuple":
+        return tuple(
+            decode_payload(element) for element in data["v"]
+        )
+    if kind == "fset":
+        return frozenset(
+            decode_payload(element) for element in data["v"]
+        )
+    raise ReproError(f"unknown payload kind {kind!r}")
+
+
+def _encode_message(message: Message) -> dict:
+    return {
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "round": message.round,
+        "payload": encode_payload(message.payload),
+    }
+
+
+def _decode_message(data: dict) -> Message:
+    return Message(
+        sender=data["sender"],
+        receiver=data["receiver"],
+        round=data["round"],
+        payload=decode_payload(data["payload"]),
+    )
+
+
+def _encode_messages(messages: frozenset[Message]) -> list:
+    encoded = [_encode_message(message) for message in messages]
+    encoded.sort(key=json.dumps)
+    return encoded
+
+
+def _decode_messages(data: list) -> frozenset[Message]:
+    return frozenset(_decode_message(entry) for entry in data)
+
+
+def _encode_state(state: StateSnapshot) -> dict:
+    return {
+        "process": state.process,
+        "round": state.round,
+        "proposal": encode_payload(state.proposal),
+        "decision": (
+            None
+            if state.decision is None
+            else encode_payload(state.decision)
+        ),
+    }
+
+
+def _decode_state(data: dict) -> StateSnapshot:
+    return StateSnapshot(
+        process=data["process"],
+        round=data["round"],
+        proposal=decode_payload(data["proposal"]),
+        decision=(
+            None
+            if data["decision"] is None
+            else decode_payload(data["decision"])
+        ),
+    )
+
+
+def _encode_fragment(fragment: Fragment) -> dict:
+    return {
+        "state": _encode_state(fragment.state),
+        "sent": _encode_messages(fragment.sent),
+        "send_omitted": _encode_messages(fragment.send_omitted),
+        "received": _encode_messages(fragment.received),
+        "receive_omitted": _encode_messages(fragment.receive_omitted),
+    }
+
+
+def _decode_fragment(data: dict) -> Fragment:
+    return Fragment(
+        state=_decode_state(data["state"]),
+        sent=_decode_messages(data["sent"]),
+        send_omitted=_decode_messages(data["send_omitted"]),
+        received=_decode_messages(data["received"]),
+        receive_omitted=_decode_messages(data["receive_omitted"]),
+    )
+
+
+def _encode_behavior(behavior: Behavior) -> dict:
+    return {
+        "fragments": [
+            _encode_fragment(fragment)
+            for fragment in behavior.fragments
+        ],
+        "final_state": _encode_state(behavior.final_state),
+    }
+
+
+def _decode_behavior(data: dict) -> Behavior:
+    return Behavior(
+        tuple(
+            _decode_fragment(fragment)
+            for fragment in data["fragments"]
+        ),
+        final_state=_decode_state(data["final_state"]),
+    )
+
+
+def execution_to_dict(execution: Execution) -> dict:
+    """Encode an execution as a JSON-safe dictionary."""
+    return {
+        "format": FORMAT_VERSION,
+        "n": execution.n,
+        "t": execution.t,
+        "faulty": sorted(execution.faulty),
+        "behaviors": [
+            _encode_behavior(behavior)
+            for behavior in execution.behaviors
+        ],
+    }
+
+
+def execution_from_dict(data: dict) -> Execution:
+    """Decode an execution; structural checks run in the constructors."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported execution format {data.get('format')!r}"
+        )
+    return Execution(
+        n=data["n"],
+        t=data["t"],
+        faulty=frozenset(data["faulty"]),
+        behaviors=tuple(
+            _decode_behavior(behavior)
+            for behavior in data["behaviors"]
+        ),
+    )
+
+
+def dump_execution(execution: Execution) -> str:
+    """Serialize an execution to a JSON string (deterministic)."""
+    return json.dumps(
+        execution_to_dict(execution), sort_keys=True, indent=None
+    )
+
+
+def load_execution(text: str) -> Execution:
+    """Deserialize an execution from :func:`dump_execution` output."""
+    return execution_from_dict(json.loads(text))
+
+
+def dump_witness(witness) -> str:
+    """Serialize a violation witness to JSON."""
+    from repro.lowerbound.witnesses import ViolationWitness
+
+    assert isinstance(witness, ViolationWitness)
+    return json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "kind": witness.kind.value,
+            "culprit": witness.culprit,
+            "counterpart": witness.counterpart,
+            "note": witness.note,
+            "execution": execution_to_dict(witness.execution),
+        },
+        sort_keys=True,
+    )
+
+
+def load_witness(text: str):
+    """Deserialize a witness; re-verify with
+    :func:`repro.lowerbound.witnesses.verify_witness` before trusting it."""
+    from repro.lowerbound.witnesses import ViolationKind, ViolationWitness
+
+    data = json.loads(text)
+    if data.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported witness format {data.get('format')!r}"
+        )
+    return ViolationWitness(
+        kind=ViolationKind(data["kind"]),
+        execution=execution_from_dict(data["execution"]),
+        culprit=data["culprit"],
+        counterpart=data["counterpart"],
+        note=data["note"],
+    )

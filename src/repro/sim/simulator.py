@@ -1,0 +1,237 @@
+"""The synchronous round simulator (§2, A.1).
+
+Computation unfolds in synchronous rounds.  In each round every process
+(1) performs local computation, (2) sends messages, and (3) receives the
+messages sent to it in that round.  The simulator drives deterministic
+:class:`~repro.sim.process.Process` machines under a static
+:class:`~repro.sim.adversary.Adversary` and records a full
+:class:`~repro.sim.execution.Execution` trace in the Appendix-A formalism.
+
+Infinite executions are approximated by a finite horizon chosen by the
+caller; every protocol in :mod:`repro.protocols` declares a sound
+``max_rounds(n, t)`` bound, so "ran for the horizon without deciding"
+witnesses a genuine termination failure for these deterministic protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ProtocolViolation
+from repro.sim.adversary import Adversary, NoFaults
+from repro.sim.execution import Execution, check_execution
+from repro.sim.message import Message
+from repro.sim.process import Process, ProcessFactory
+from repro.sim.state import Behavior, Fragment
+from repro.types import Payload, ProcessId, Round, validate_system_size
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Static parameters of one simulated execution.
+
+    Attributes:
+        n: number of processes.
+        t: corruption budget (the adversary may corrupt at most ``t``).
+        rounds: the finite horizon to simulate.
+        check: whether to run the full Appendix-A validity checker on the
+            produced execution (cheap insurance; on by default).
+    """
+
+    n: int
+    t: int
+    rounds: int
+    check: bool = True
+
+    def __post_init__(self) -> None:
+        validate_system_size(self.n, self.t)
+        if self.rounds < 1:
+            raise ValueError(f"need at least one round, got {self.rounds}")
+
+
+def build_machines(
+    config: SimulationConfig,
+    proposals: Sequence[Payload],
+    factory: ProcessFactory,
+    adversary: Adversary,
+) -> list[Process]:
+    """Instantiate the n machines, applying Byzantine substitutions.
+
+    Honest machines come from ``factory``; for each corrupted process the
+    adversary may substitute an arbitrary machine (Byzantine model) or
+    leave the honest one (omission model).
+    """
+    if len(proposals) != config.n:
+        raise ValueError(
+            f"expected {config.n} proposals, got {len(proposals)}"
+        )
+    adversary.validate_budget(config.n, config.t)
+    machines: list[Process] = []
+    for pid in range(config.n):
+        proposal = proposals[pid]
+        machine: Process | None = None
+        if pid in adversary.corrupted:
+            machine = adversary.corrupt_machine(pid, factory, proposal)
+        if machine is None:
+            machine = factory(pid, proposal)
+        if machine.pid != pid:
+            raise ProtocolViolation(
+                f"factory built machine for p{machine.pid}, wanted p{pid}"
+            )
+        machines.append(machine)
+    return machines
+
+
+def run_execution(
+    config: SimulationConfig,
+    proposals: Sequence[Payload],
+    factory: ProcessFactory,
+    adversary: Adversary | None = None,
+) -> Execution:
+    """Simulate one execution and return its full trace.
+
+    Args:
+        config: system size, corruption budget and horizon.
+        proposals: proposal of each process, indexed by id.  (Proposals of
+            Byzantine-replaced processes are passed to the adversary, which
+            may ignore them.)
+        factory: builds the honest machine for a ``(pid, proposal)`` pair.
+        adversary: the static adversary; ``None`` means no faults.
+
+    Returns:
+        The recorded :class:`Execution`, validated against the model's
+        execution conditions when ``config.check`` is set.
+    """
+    adversary = adversary if adversary is not None else NoFaults()
+    machines = build_machines(config, proposals, factory, adversary)
+    recorder = _Recorder(config, machines, adversary)
+    for round_ in range(1, config.rounds + 1):
+        recorder.step(round_)
+    return recorder.finish()
+
+
+class _Recorder:
+    """Internal: drives machines one round at a time and records fragments."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        machines: Sequence[Process],
+        adversary: Adversary,
+    ) -> None:
+        self._config = config
+        self._machines = machines
+        self._adversary = adversary
+        self._fragments: list[list[Fragment]] = [
+            [] for _ in range(config.n)
+        ]
+
+    def step(self, round_: Round) -> None:
+        """Simulate round ``round_``: states, sends, omissions, delivery."""
+        self._adversary.begin_round(round_)
+        corrupted = self._adversary.corrupted
+        states = [
+            machine.snapshot(round_) for machine in self._machines
+        ]
+        sent: list[set[Message]] = [set() for _ in self._machines]
+        send_omitted: list[set[Message]] = [set() for _ in self._machines]
+        inboxes: list[list[Message]] = [[] for _ in self._machines]
+        for pid, machine in enumerate(self._machines):
+            mapping = machine.validate_outgoing(
+                round_, machine.outgoing(round_)
+            )
+            for receiver, payload in mapping.items():
+                message = Message(pid, receiver, round_, payload)
+                if pid in corrupted and self._adversary.send_omits(message):
+                    send_omitted[pid].add(message)
+                else:
+                    sent[pid].add(message)
+                    inboxes[receiver].append(message)
+        for pid, machine in enumerate(self._machines):
+            received: set[Message] = set()
+            receive_omitted: set[Message] = set()
+            for message in inboxes[pid]:
+                if pid in corrupted and self._adversary.receive_omits(
+                    message
+                ):
+                    receive_omitted.add(message)
+                else:
+                    received.add(message)
+            self._fragments[pid].append(
+                Fragment(
+                    state=states[pid],
+                    sent=frozenset(sent[pid]),
+                    send_omitted=frozenset(send_omitted[pid]),
+                    received=frozenset(received),
+                    receive_omitted=frozenset(receive_omitted),
+                )
+            )
+            machine.deliver(
+                round_,
+                {
+                    message.sender: message.payload
+                    for message in sorted(
+                        received, key=lambda m: m.sender
+                    )
+                },
+            )
+        self._adversary.observe_round(
+            round_,
+            frozenset().union(*(frozenset(s) for s in sent))
+            if sent
+            else frozenset(),
+        )
+
+    def finish(self) -> Execution:
+        """Assemble the execution record after the final round."""
+        final_round = self._config.rounds + 1
+        behaviors = tuple(
+            Behavior(
+                tuple(self._fragments[pid]),
+                final_state=self._machines[pid].snapshot(final_round),
+            )
+            for pid in range(self._config.n)
+        )
+        execution = Execution(
+            n=self._config.n,
+            t=self._config.t,
+            faulty=self._adversary.corrupted,
+            behaviors=behaviors,
+        )
+        if self._config.check:
+            check_execution(execution)
+        return execution
+
+
+def all_correct_decided(execution: Execution) -> bool:
+    """Whether every correct process decided within the recorded horizon."""
+    return all(
+        execution.decision(pid) is not None for pid in execution.correct
+    )
+
+
+def run_with_uniform_proposal(
+    config: SimulationConfig,
+    proposal: Payload,
+    factory: ProcessFactory,
+    adversary: Adversary | None = None,
+) -> Execution:
+    """Shorthand: all processes propose the same value.
+
+    The weak-consensus proofs revolve around the all-propose-0 and
+    all-propose-1 executions; this keeps call sites readable.
+    """
+    return run_execution(
+        config, [proposal] * config.n, factory, adversary
+    )
+
+
+def decisions_by_value(
+    execution: Execution,
+) -> dict[Payload | None, list[ProcessId]]:
+    """Group correct processes by their decision (``None`` = undecided)."""
+    groups: dict[Payload | None, list[ProcessId]] = {}
+    for pid in sorted(execution.correct):
+        groups.setdefault(execution.decision(pid), []).append(pid)
+    return groups

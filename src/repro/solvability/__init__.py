@@ -1,0 +1,44 @@
+"""The general solvability theorem machinery (§5).
+
+* :mod:`repro.solvability.cc` — the containment condition (Definition 3)
+  and Γ construction/verification.
+* :mod:`repro.solvability.theorem` — Theorem 4 as a decision procedure.
+* :mod:`repro.solvability.strong_consensus` — Theorem 5 (strong consensus
+  needs ``n > 2t``) with the paper's explicit counterexample.
+"""
+
+from repro.solvability.cc import (
+    CCReport,
+    GammaFunction,
+    containment_condition,
+    satisfies_cc,
+    verify_gamma,
+)
+from repro.solvability.strong_consensus import (
+    BoundaryPoint,
+    counterexample_certificate,
+    paper_counterexample,
+    strong_consensus_cc,
+    sweep_boundary,
+)
+from repro.solvability.theorem import (
+    SolvabilityReport,
+    classify,
+    classify_many,
+)
+
+__all__ = [
+    "BoundaryPoint",
+    "CCReport",
+    "GammaFunction",
+    "SolvabilityReport",
+    "classify",
+    "classify_many",
+    "containment_condition",
+    "counterexample_certificate",
+    "paper_counterexample",
+    "satisfies_cc",
+    "strong_consensus_cc",
+    "sweep_boundary",
+    "verify_gamma",
+]

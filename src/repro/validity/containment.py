@@ -1,0 +1,79 @@
+"""The containment relation on input configurations (§4.2).
+
+``c1 ⊇ c2`` iff every process of ``c2`` appears in ``c1`` with the same
+proposal.  ``Cnt(c)`` is the set of configurations ``c`` contains.  This
+module provides the relation as standalone functions (the method forms
+live on :class:`~repro.validity.input_config.InputConfig`) plus the
+intersection Lemma 7 revolves around:
+
+    any decision reached in an execution corresponding to ``c`` must lie
+    in ``∩_{c' ∈ Cnt(c)} val(c')``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.validity.input_config import InputConfig
+from repro.validity.property import AgreementProblem
+from repro.types import Payload
+
+
+def contains(left: InputConfig, right: InputConfig) -> bool:
+    """The containment relation ``left ⊇ right``."""
+    return left.contains(right)
+
+
+def containment_set(config: InputConfig) -> list[InputConfig]:
+    """``Cnt(config)`` as a list (includes ``config``; reflexivity)."""
+    return list(config.containment_set())
+
+
+def admissible_under_containment(
+    problem: AgreementProblem, config: InputConfig
+) -> frozenset[Payload]:
+    """``∩_{c' ∈ Cnt(config)} val(c')`` — Lemma 7's admissible set.
+
+    The decisions an algorithm may take in any execution corresponding to
+    ``config`` without risking a validity violation in some
+    indistinguishable execution.  Empty exactly when the containment
+    condition fails *at this configuration*.
+    """
+    common: frozenset[Payload] | None = None
+    for contained in config.containment_set():
+        admissible = problem.admissible(contained)
+        common = admissible if common is None else common & admissible
+        if not common:
+            return frozenset()
+    assert common is not None  # Cnt(c) always holds c itself
+    return common
+
+
+def check_partial_order_axioms(
+    configs: Iterable[InputConfig],
+) -> list[str]:
+    """Check reflexivity/antisymmetry/transitivity of ⊇ on a sample.
+
+    Returns a list of human-readable violations (empty = all hold).  Used
+    by the property-based tests; the relation is a partial order by
+    construction, so any violation is an implementation bug.
+    """
+    sample = list(configs)
+    problems: list[str] = []
+    for a in sample:
+        if not a.contains(a):
+            problems.append(f"reflexivity fails at {a!r}")
+    for a in sample:
+        for b in sample:
+            if a.contains(b) and b.contains(a) and a != b:
+                problems.append(f"antisymmetry fails at {a!r}, {b!r}")
+    for a in sample:
+        for b in sample:
+            if not a.contains(b):
+                continue
+            for c in sample:
+                if b.contains(c) and not a.contains(c):
+                    problems.append(
+                        f"transitivity fails at {a!r} ⊇ {b!r} ⊇ {c!r}"
+                    )
+    return problems

@@ -1,0 +1,170 @@
+"""Validity properties and agreement problems (§4.1).
+
+A validity property is a function ``val : I → 2^{V_O} \\ {∅}`` mapping each
+input configuration to its admissible decisions.  A specific agreement
+problem — the "*val*-agreement problem" — is fully determined by its
+validity property, which also encodes ``n``, ``t``, ``V_I`` and ``V_O``.
+
+:class:`AgreementProblem` bundles a validity property with finite,
+enumerable value domains, which is what the solvability decision procedure
+(Theorem 4) operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
+
+from repro.validity.input_config import (
+    InputConfig,
+    enumerate_input_configs,
+)
+from repro.types import Payload, validate_system_size
+
+ValidityFn = Callable[[InputConfig], frozenset[Payload]]
+"""The raw ``val`` function: configuration → non-empty admissible set."""
+
+
+@dataclass(frozen=True)
+class AgreementProblem:
+    """A specific Byzantine agreement problem (the "val-agreement" problem).
+
+    Attributes:
+        name: display name.
+        n: system size.
+        t: corruption budget.
+        input_values: the finite proposal domain ``V_I``.
+        output_values: the finite decision domain ``V_O``.
+        validity: the ``val`` function.
+    """
+
+    name: str
+    n: int
+    t: int
+    input_values: tuple[Payload, ...]
+    output_values: tuple[Payload, ...]
+    validity: ValidityFn = field(repr=False)
+
+    def __post_init__(self) -> None:
+        validate_system_size(self.n, self.t)
+        if not self.input_values:
+            raise ValueError("V_I must be non-empty")
+        if not self.output_values:
+            raise ValueError("V_O must be non-empty")
+        if len(set(self.input_values)) != len(self.input_values):
+            raise ValueError("V_I contains duplicates")
+        if len(set(self.output_values)) != len(self.output_values):
+            raise ValueError("V_O contains duplicates")
+
+    def admissible(self, config: InputConfig) -> frozenset[Payload]:
+        """``val(c)``, checked to be a non-empty subset of ``V_O``.
+
+        Raises:
+            ValueError: if the validity function returns an empty set or
+                values outside ``V_O`` — both make ``val`` ill-formed
+                (§4.1 requires ``val(c) ≠ ∅``).
+        """
+        admissible = self.validity(config)
+        if not admissible:
+            raise ValueError(
+                f"{self.name}: val(c) is empty for {config!r}"
+            )
+        extraneous = admissible - frozenset(self.output_values)
+        if extraneous:
+            raise ValueError(
+                f"{self.name}: val(c) leaves V_O: {sorted(map(repr, extraneous))}"
+            )
+        return admissible
+
+    def input_configs(self) -> Iterable[InputConfig]:
+        """Enumerate ``I`` for this problem's domains."""
+        return enumerate_input_configs(self.n, self.t, self.input_values)
+
+    def always_admissible(self) -> frozenset[Payload]:
+        """``∩_{c ∈ I} val(c)`` — the set of always-admissible decisions.
+
+        Non-empty exactly when the problem is *trivial* (§4.1): a value in
+        this set can be decided with zero communication.
+        """
+        common: frozenset[Payload] | None = None
+        for config in self.input_configs():
+            admissible = self.admissible(config)
+            common = (
+                admissible if common is None else common & admissible
+            )
+            if not common:
+                return frozenset()
+        return common if common is not None else frozenset()
+
+    def is_trivial(self) -> bool:
+        """Whether some decision is admissible in every configuration."""
+        return bool(self.always_admissible())
+
+    def check_decision(
+        self, config: InputConfig, decision: Payload
+    ) -> bool:
+        """Whether ``decision`` satisfies ``val`` for ``config``.
+
+        The check an execution-level test applies to each correct
+        process's decision (the "satisfying validity" clause of §4.1).
+        """
+        return decision in self.admissible(config)
+
+
+def tabulate(problem: AgreementProblem) -> dict[InputConfig, frozenset[Payload]]:
+    """Materialize ``val`` as a table over all of ``I`` (small instances)."""
+    return {
+        config: problem.admissible(config)
+        for config in problem.input_configs()
+    }
+
+
+def problem_from_table(
+    name: str,
+    n: int,
+    t: int,
+    input_values: Sequence[Payload],
+    output_values: Sequence[Payload],
+    table: dict[InputConfig, frozenset[Payload]],
+) -> AgreementProblem:
+    """An :class:`AgreementProblem` backed by an explicit table.
+
+    Useful for enumerating *arbitrary* validity properties in the
+    solvability experiments (E5): any assignment of admissible sets is a
+    problem.
+    """
+    missing = object()
+
+    def validity(config: InputConfig) -> frozenset[Payload]:
+        admissible = table.get(config, missing)
+        if admissible is missing:
+            raise KeyError(f"no table entry for {config!r}")
+        return admissible  # type: ignore[return-value]
+
+    return AgreementProblem(
+        name=name,
+        n=n,
+        t=t,
+        input_values=tuple(input_values),
+        output_values=tuple(output_values),
+        validity=validity,
+    )
+
+
+def cached(problem: AgreementProblem) -> AgreementProblem:
+    """A copy of ``problem`` whose ``val`` is memoized.
+
+    The solvability machinery evaluates ``val`` on the same configuration
+    many times (once per containing configuration); caching makes the
+    decision procedure linear in ``|I| · 2^t`` instead of quadratic.
+    """
+    memo = lru_cache(maxsize=None)(problem.validity)
+    return AgreementProblem(
+        name=problem.name,
+        n=problem.n,
+        t=problem.t,
+        input_values=problem.input_values,
+        output_values=problem.output_values,
+        validity=memo,
+    )

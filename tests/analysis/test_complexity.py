@@ -1,0 +1,67 @@
+"""Tests for the complexity sweep harness."""
+
+from repro.analysis.complexity import (
+    default_scenarios,
+    measure_point,
+    mixed_workload,
+    quadratic_parameter_grid,
+    sweep,
+    uniform_workloads,
+)
+from repro.protocols.subquadratic import leader_echo_spec
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+
+
+class TestWorkloads:
+    def test_uniform_workloads(self):
+        assert uniform_workloads(3) == [[0, 0, 0], [1, 1, 1]]
+
+    def test_mixed_workload_round_robin(self):
+        assert mixed_workload(5) == [0, 1, 0, 1, 0]
+
+    def test_parameter_grid(self):
+        grid = quadratic_parameter_grid(12, slack=4, step=4)
+        assert grid == [(8, 4), (12, 8), (16, 12)]
+
+
+class TestScenarios:
+    def test_includes_isolations_when_t_allows(self):
+        spec = broadcast_weak_consensus_spec(8, 4)
+        scenarios = default_scenarios(spec, [0] * 8)
+        labels = [label for label, _, _ in scenarios]
+        assert labels[0] == "fault-free"
+        assert any("isolate-B" in label for label in labels)
+        assert any("isolate-C" in label for label in labels)
+
+    def test_fault_free_only_for_tiny_t(self):
+        spec = broadcast_weak_consensus_spec(4, 1)
+        scenarios = default_scenarios(spec, [0] * 4)
+        assert [label for label, _, _ in scenarios] == ["fault-free"]
+
+
+class TestMeasurement:
+    def test_measure_point_takes_worst(self):
+        spec = leader_echo_spec(8, 4)
+        point = measure_point(spec, uniform_workloads(8))
+        # Leader echo: 2(n-1) messages fault-free; isolations only lose
+        # messages, so the worst is the fault-free run.
+        assert point.worst_messages == 14
+        assert point.scenario == "fault-free"
+
+    def test_point_ratios(self):
+        spec = leader_echo_spec(8, 4)
+        point = measure_point(spec, uniform_workloads(8))
+        assert point.floor == 0.5
+        assert point.ratio_to_floor == 28.0
+        assert point.ratio_to_t_squared == 14 / 16
+
+    def test_sweep_produces_one_point_per_parameter(self):
+        points = sweep(
+            lambda n, t: leader_echo_spec(n, t),
+            [(6, 2), (10, 4)],
+            include_mixed=False,
+        )
+        assert [(point.n, point.t) for point in points] == [
+            (6, 2),
+            (10, 4),
+        ]

@@ -1,0 +1,42 @@
+"""Tests for round-complexity (latency) accounting."""
+
+from repro.analysis.latency import LatencyReport, dolev_strong_round_floor
+from repro.protocols.dolev_strong import dolev_strong_spec
+from repro.protocols.phase_king import phase_king_spec
+from repro.protocols.subquadratic import leader_echo_spec
+from repro.sim.adversary import CrashAdversary
+
+
+class TestLatencyReport:
+    def test_dolev_strong_decides_at_t_plus_one(self):
+        """The [52] round bound, attained exactly by our implementation."""
+        for t in (1, 2, 4):
+            spec = dolev_strong_spec(t + 3, t)
+            report = LatencyReport.of(spec.run_uniform("v"))
+            assert report.all_decided
+            assert report.earliest == report.latest == t + 1
+            assert report.latest == dolev_strong_round_floor(t)
+
+    def test_phase_king_latency(self):
+        spec = phase_king_spec(7, 2)
+        report = LatencyReport.of(spec.run_uniform(0))
+        assert report.latest == 3 * (2 + 1)
+
+    def test_cheater_is_fast_because_it_cheats(self):
+        spec = leader_echo_spec(8, 4)
+        report = LatencyReport.of(spec.run_uniform(0))
+        assert report.latest == 2  # far below t+1 = 5: too good to be true
+
+    def test_undecided_processes_reported(self):
+        spec = leader_echo_spec(8, 4)
+        report = LatencyReport.of(spec.run_uniform(0, rounds=1))
+        assert not report.all_decided
+        assert report.earliest is None
+        assert report.latest is None
+
+    def test_faults_do_not_delay_dolev_strong(self):
+        spec = dolev_strong_spec(6, 2)
+        execution = spec.run_uniform("v", CrashAdversary({3: 1}))
+        report = LatencyReport.of(execution)
+        assert report.all_decided
+        assert report.latest == 3

@@ -1,0 +1,40 @@
+"""Tests for the text table renderers."""
+
+import pytest
+
+from repro.analysis.complexity import SweepPoint
+from repro.analysis.tables import render_kv, render_sweep, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ("name", "value"), [("a", 1), ("longer", 22)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        assert len(lines) == 4
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("a", "b"), [("only-one",)])
+
+
+class TestRenderSweep:
+    def test_contains_floor_column(self):
+        point = SweepPoint(
+            protocol="x", n=10, t=8, worst_messages=100,
+            scenario="fault-free",
+        )
+        text = render_sweep([point])
+        assert "t^2/32" in text
+        assert "fault-free" in text
+        assert "2.0" in text  # the floor at t=8
+
+
+class TestRenderKv:
+    def test_titled_block(self):
+        text = render_kv("Title", [("k", "v"), ("n", 3)])
+        assert text.splitlines()[0] == "Title"
+        assert "  k: v" in text

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test-suite.
+
+Conventions: small systems (n ≤ 10) keep tests fast; `hypothesis`-based
+tests bound example counts explicitly where the default would be slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbound.partition import ABCPartition
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+
+
+@pytest.fixture
+def small_weak_spec():
+    """A correct weak consensus instance at (n=6, t=4)."""
+    return broadcast_weak_consensus_spec(6, 4)
+
+
+@pytest.fixture
+def small_partition():
+    """An (A, B, C) partition matching ``small_weak_spec``."""
+    return ABCPartition(
+        n=6, t=4, group_b=frozenset({4}), group_c=frozenset({5})
+    )

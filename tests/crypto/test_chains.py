@@ -1,0 +1,122 @@
+"""Tests for repro.crypto.chains (Dolev–Strong signature chains)."""
+
+import pytest
+
+from repro.crypto.chains import SignedChain, start_chain, verify_chain
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signature, SignatureScheme
+
+
+@pytest.fixture
+def scheme():
+    return SignatureScheme(KeyRegistry(5, seed=b"chains"))
+
+
+def build_chain(scheme, signers, value="v", instance="i"):
+    chain = start_chain(scheme.signer_for(signers[0]), instance, value)
+    for pid in signers[1:]:
+        chain = chain.extend(scheme.signer_for(pid))
+    return chain
+
+
+class TestChainConstruction:
+    def test_start_chain_length_one(self, scheme):
+        chain = start_chain(scheme.signer_for(0), "i", "v")
+        assert len(chain) == 1
+        assert chain.signers == (0,)
+
+    def test_extension_appends(self, scheme):
+        chain = build_chain(scheme, [0, 1, 2])
+        assert chain.signers == (0, 1, 2)
+        assert len(chain) == 3
+
+    def test_double_signing_rejected(self, scheme):
+        chain = build_chain(scheme, [0, 1])
+        with pytest.raises(ValueError, match="already signed"):
+            chain.extend(scheme.signer_for(1))
+
+    def test_has_signer(self, scheme):
+        chain = build_chain(scheme, [0, 3])
+        assert chain.has_signer(3)
+        assert not chain.has_signer(2)
+
+
+class TestVerification:
+    def test_valid_chain_verifies(self, scheme):
+        chain = build_chain(scheme, [0, 1, 2])
+        assert verify_chain(scheme, chain, designated_sender=0)
+
+    def test_minimum_length_enforced(self, scheme):
+        chain = build_chain(scheme, [0, 1])
+        assert verify_chain(scheme, chain, 0, minimum_length=2)
+        assert not verify_chain(scheme, chain, 0, minimum_length=3)
+
+    def test_wrong_sender_rejected(self, scheme):
+        chain = build_chain(scheme, [1, 2])
+        assert not verify_chain(scheme, chain, designated_sender=0)
+
+    def test_value_tamper_rejected(self, scheme):
+        chain = build_chain(scheme, [0, 1])
+        tampered = SignedChain(
+            instance=chain.instance,
+            value="other",
+            signatures=chain.signatures,
+        )
+        assert not verify_chain(scheme, tampered, 0)
+
+    def test_instance_tamper_rejected(self, scheme):
+        """Chains cannot be replayed across broadcast instances."""
+        chain = build_chain(scheme, [0, 1], instance="alpha")
+        replayed = SignedChain(
+            instance="beta",
+            value=chain.value,
+            signatures=chain.signatures,
+        )
+        assert not verify_chain(scheme, replayed, 0)
+
+    def test_reordered_signatures_rejected(self, scheme):
+        chain = build_chain(scheme, [0, 1, 2])
+        shuffled = SignedChain(
+            instance=chain.instance,
+            value=chain.value,
+            signatures=(
+                chain.signatures[0],
+                chain.signatures[2],
+                chain.signatures[1],
+            ),
+        )
+        assert not verify_chain(scheme, shuffled, 0)
+
+    def test_duplicate_signers_rejected(self, scheme):
+        chain = build_chain(scheme, [0, 1])
+        duplicated = SignedChain(
+            instance=chain.instance,
+            value=chain.value,
+            signatures=chain.signatures + (chain.signatures[1],),
+        )
+        assert not verify_chain(scheme, duplicated, 0)
+
+    def test_garbage_signature_rejected(self, scheme):
+        chain = build_chain(scheme, [0])
+        junk = SignedChain(
+            instance=chain.instance,
+            value=chain.value,
+            signatures=chain.signatures
+            + (Signature(signer=1, tag=b"\x01" * 32),),
+        )
+        assert not verify_chain(scheme, junk, 0)
+
+    def test_empty_chain_rejected(self, scheme):
+        empty = SignedChain(instance="i", value="v", signatures=())
+        assert not verify_chain(scheme, empty, 0)
+
+    def test_truncated_prefix_still_verifies(self, scheme):
+        """Dropping suffix signatures leaves a valid (shorter) chain —
+        that is fine: shorter chains carry weaker round guarantees."""
+        chain = build_chain(scheme, [0, 1, 2])
+        prefix = SignedChain(
+            instance=chain.instance,
+            value=chain.value,
+            signatures=chain.signatures[:2],
+        )
+        assert verify_chain(scheme, prefix, 0)

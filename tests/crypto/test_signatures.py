@@ -1,0 +1,147 @@
+"""Tests for repro.crypto.signatures (the idealized-signature boundary)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import (
+    Signature,
+    SignatureScheme,
+    canonical_bytes,
+)
+from repro.errors import SignatureError
+
+
+@pytest.fixture
+def scheme():
+    return SignatureScheme(KeyRegistry(4, seed=b"test"))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, scheme):
+        signer = scheme.signer_for(1)
+        signature = signer.sign(("hello", 42))
+        assert scheme.verify(signature, ("hello", 42))
+
+    def test_wrong_content_fails(self, scheme):
+        signer = scheme.signer_for(1)
+        signature = signer.sign(("hello", 42))
+        assert not scheme.verify(signature, ("hello", 43))
+
+    def test_claimed_signer_is_bound(self, scheme):
+        """A tag made by p1 does not verify as p2 — no identity theft."""
+        signature = scheme.signer_for(1).sign("m")
+        forged = Signature(signer=2, tag=signature.tag)
+        assert not scheme.verify(forged, "m")
+
+    def test_unknown_signer_fails_closed(self, scheme):
+        signature = Signature(signer=9, tag=b"\x00" * 32)
+        assert not scheme.verify(signature, "m")
+
+    def test_unencodable_content_fails_closed(self, scheme):
+        signature = scheme.signer_for(0).sign("m")
+        assert not scheme.verify(signature, object())
+
+    def test_signer_pid(self, scheme):
+        assert scheme.signer_for(3).pid == 3
+
+    def test_signer_can_verify_others(self, scheme):
+        signature = scheme.signer_for(0).sign("m")
+        assert scheme.signer_for(1).verify(signature, "m")
+
+    def test_signing_unencodable_raises(self, scheme):
+        with pytest.raises(SignatureError, match="canonically encode"):
+            scheme.signer_for(0).sign([1, 2, 3])
+
+
+class TestCanonicalBytes:
+    def test_supported_types(self):
+        for value in (
+            None,
+            True,
+            False,
+            0,
+            -17,
+            "text",
+            b"bytes",
+            ("a", 1, None),
+            frozenset({1, 2, 3}),
+        ):
+            assert isinstance(canonical_bytes(value), bytes)
+
+    def test_bool_is_not_int(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+
+    def test_frozenset_order_independent(self):
+        assert canonical_bytes(frozenset({1, 2})) == canonical_bytes(
+            frozenset({2, 1})
+        )
+
+    def test_nested_tuples_distinguished(self):
+        assert canonical_bytes((("a",), "b")) != canonical_bytes(
+            ("a", ("b",))
+        )
+
+    def test_signature_encodable(self):
+        scheme = SignatureScheme(KeyRegistry(2))
+        signature = scheme.signer_for(0).sign("m")
+        assert isinstance(canonical_bytes(signature), bytes)
+
+    def test_canonical_content_hook(self):
+        class Custom:
+            def canonical_content(self):
+                return ("custom", 1)
+
+        assert canonical_bytes(Custom()) == b"O" + canonical_bytes(
+            ("custom", 1)
+        )
+
+    def test_rejects_lists(self):
+        with pytest.raises(SignatureError):
+            canonical_bytes([1])
+
+    _signable = st.recursive(
+        # Bools are excluded from the generic domain: Python collapses
+        # False/0 and True/1 inside sets, while the encoding (rightly)
+        # distinguishes them — tested separately below.
+        st.none()
+        | st.integers()
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda inner: st.tuples(inner, inner)
+        | st.frozensets(inner, max_size=3),
+        max_leaves=8,
+    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(_signable, _signable)
+    def test_injective_on_samples(self, left, right):
+        """Property: distinct values encode distinctly (no collisions that
+        would let one signed statement verify as another)."""
+        if left == right:
+            assert canonical_bytes(left) == canonical_bytes(right)
+        else:
+            assert canonical_bytes(left) != canonical_bytes(right)
+
+    def test_bool_int_set_collapse_is_distinguished(self):
+        """The documented type-strictness quirk: Python deems these sets
+        equal, the encoding does not — a deliberate safety choice."""
+        collapsed_a = frozenset({False})
+        collapsed_b = frozenset({0})
+        assert collapsed_a == collapsed_b  # Python's view
+        assert canonical_bytes(collapsed_a) != canonical_bytes(
+            collapsed_b
+        )
+
+
+class TestForgeryResistance:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=32, max_size=32))
+    def test_random_tags_do_not_verify(self, tag):
+        scheme = SignatureScheme(KeyRegistry(3, seed=b"forge"))
+        genuine = scheme.signer_for(0).sign(("target", 1)).tag
+        assert (
+            not scheme.verify(Signature(signer=0, tag=tag), ("target", 1))
+            or tag == genuine
+        )

@@ -1,0 +1,94 @@
+"""Tests for the (A, B, C) partitions (Table 1)."""
+
+import pytest
+
+from repro.lowerbound.partition import (
+    ABCPartition,
+    canonical_partition,
+    paper_partition,
+)
+
+
+class TestABCPartition:
+    def test_group_a_is_complement(self):
+        partition = ABCPartition(
+            n=8, t=4, group_b=frozenset({6}), group_c=frozenset({7})
+        )
+        assert partition.group_a == frozenset(range(6))
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            ABCPartition(
+                n=8,
+                t=4,
+                group_b=frozenset({6}),
+                group_c=frozenset({6, 7}),
+            )
+
+    def test_rejects_budget_overflow(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            ABCPartition(
+                n=8,
+                t=2,
+                group_b=frozenset({5, 6}),
+                group_c=frozenset({7}),
+            )
+
+    def test_rejects_empty_a(self):
+        # Covering all of Π with B ∪ C requires |B|+|C| = n > t, so the
+        # budget check necessarily fires first; group A can never be
+        # empty in a budget-respecting partition.
+        with pytest.raises(ValueError, match="exceeds"):
+            ABCPartition(
+                n=2,
+                t=1,
+                group_b=frozenset({0}),
+                group_c=frozenset({1}),
+            )
+
+    def test_describe(self):
+        partition = canonical_partition(12, 8)
+        text = partition.describe()
+        assert "A=" in text and "B=" in text and "C=" in text
+
+
+class TestCanonical:
+    def test_paper_sizing_at_t_divisible_by_8(self):
+        partition = canonical_partition(24, 16)
+        assert len(partition.group_b) == 4
+        assert len(partition.group_c) == 4
+
+    def test_small_t_degrades_to_singletons(self):
+        partition = canonical_partition(6, 2)
+        assert len(partition.group_b) == 1
+        assert len(partition.group_c) == 1
+
+    def test_groups_sit_at_top_ids(self):
+        partition = canonical_partition(10, 4)
+        assert partition.group_c == {9}
+        assert partition.group_b == {8}
+        assert 0 in partition.group_a
+
+    def test_rejects_t_below_2(self):
+        with pytest.raises(ValueError, match="t >= 2"):
+            canonical_partition(5, 1)
+
+    def test_rejects_degenerate_population(self):
+        # t >= n is rejected by the system-size validator before the
+        # group-fitting logic can run.
+        with pytest.raises(ValueError, match="0 <= t < n"):
+            canonical_partition(2, 8)
+
+
+class TestPaperRegime:
+    def test_accepts_paper_parameters(self):
+        partition = paper_partition(17, 16)
+        assert len(partition.group_b) == 4
+
+    def test_rejects_non_multiple_of_8(self):
+        with pytest.raises(ValueError, match="divisible by 8"):
+            paper_partition(17, 12)
+
+    def test_rejects_small_t(self):
+        with pytest.raises(ValueError, match="divisible by 8"):
+            paper_partition(17, 4)

@@ -1,0 +1,46 @@
+"""The boundary of the driver's guarantee: quadratic-but-incorrect
+protocols.
+
+Theorem 2's constructive content is conditional: *sub-quadratic* ⇒
+breakable by the isolation/merge pipeline.  Naive flooding is incorrect
+(tests/protocols/test_weak_consensus.py builds its failing execution by
+hand) yet spends Θ(n²·t) messages — so the pipeline's extraction budget
+(``|M_{X→p}| < t/2``) rightly refuses, and the driver reports
+"bound respected" rather than claiming a violation it cannot construct.
+This is a feature: the driver never produces unverifiable claims.
+"""
+
+from repro.analysis.complexity import exhaustive_isolation_scan
+from repro.lowerbound.driver import attack_weak_consensus
+from repro.protocols.weak_consensus import naive_flooding_spec
+
+
+class TestQuadraticIncorrectProtocol:
+    def test_driver_does_not_fabricate_a_violation(self):
+        spec = naive_flooding_spec(12, 8)
+        outcome = attack_weak_consensus(spec)
+        assert not outcome.found_violation
+        # The refusal is the budget, not silence: extraction attempts
+        # are logged as protected by the message-count premise.
+        assert any(
+            "premise" in line or "inconclusive" in line
+            for line in outcome.log
+        )
+
+    def test_it_really_is_quadratic(self):
+        spec = naive_flooding_spec(12, 8)
+        point = exhaustive_isolation_scan(spec, [0] * 12)
+        assert point.worst_messages >= point.floor
+        # Θ(n²·(t+1)) flooding: all-to-all every round.
+        assert point.worst_messages >= 12 * 11
+
+    def test_exhaustive_scan_finds_late_isolation_peaks(self):
+        """For the ring cheater, traffic depends on when isolation
+        strikes; the exhaustive scan must dominate the sampled battery."""
+        from repro.analysis.complexity import measure_point
+        from repro.protocols.subquadratic import ring_token_spec
+
+        spec = ring_token_spec(12, 8)
+        sampled = measure_point(spec, [[0] * 12])
+        exhaustive = exhaustive_isolation_scan(spec, [0] * 12)
+        assert exhaustive.worst_messages >= sampled.worst_messages

@@ -1,0 +1,43 @@
+"""The §7 'randomized' direction, conditioned on coins: every seed
+instance of the sampled-committee cheater is a deterministic algorithm,
+and the Theorem-2 pipeline breaks each one."""
+
+import pytest
+
+from repro.lowerbound.driver import attack_weak_consensus
+from repro.protocols.subquadratic import seeded_committee_cheater_spec
+
+
+class TestSeededCommittee:
+    def test_seed_determines_committee(self):
+        a = seeded_committee_cheater_spec(16, 8, seed=1)
+        b = seeded_committee_cheater_spec(16, 8, seed=1)
+        machine_a = a.factory(0, 0)
+        machine_b = b.factory(0, 0)
+        assert machine_a.committee == machine_b.committee
+
+    def test_different_seeds_vary_the_committee(self):
+        committees = {
+            seeded_committee_cheater_spec(16, 8, seed=s)
+            .factory(0, 0)
+            .committee
+            for s in range(8)
+        }
+        assert len(committees) > 1
+
+    def test_weak_validity_fault_free(self):
+        spec = seeded_committee_cheater_spec(12, 8, seed=3)
+        assert set(
+            spec.run_uniform(0).correct_decisions().values()
+        ) == {0}
+        assert set(
+            spec.run_uniform(1).correct_decisions().values()
+        ) == {1}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7])
+    def test_every_seed_instance_is_broken(self, seed):
+        """Fixing the coins yields a deterministic sub-quadratic weak
+        consensus — and Theorem 2 eats it, seed by seed."""
+        spec = seeded_committee_cheater_spec(16, 8, seed=seed)
+        outcome = attack_weak_consensus(spec)
+        assert outcome.found_violation

@@ -1,0 +1,85 @@
+"""Tests for the execution diff utility."""
+
+import pytest
+
+from repro.omission.indistinguishability import diff_executions
+from repro.omission.isolation import isolate_group
+from repro.omission.swap import swap_omission
+from repro.protocols.phase_king import phase_king_spec
+from repro.protocols.subquadratic import leader_echo_spec
+
+
+class TestDiffExecutions:
+    def test_identical_executions_empty_diff(self):
+        spec = phase_king_spec(4, 1)
+        left = spec.run([0, 1, 0, 1])
+        right = spec.run([0, 1, 0, 1])
+        assert diff_executions(left, right) == []
+
+    def test_proposal_difference_found(self):
+        spec = leader_echo_spec(6, 2)
+        left = spec.run([0, 0, 0, 0, 0, 0])
+        right = spec.run([1, 0, 0, 0, 0, 0])
+        diffs = diff_executions(left, right)
+        assert any(
+            diff.pid == 0 and diff.field == "proposal"
+            for diff in diffs
+        )
+
+    def test_swap_diff_is_only_omission_attribution(self):
+        """Algorithm 4 changes only sent/send_omitted/receive_omitted
+        records — never received sets, proposals or decisions.  The diff
+        makes the Lemma-15 indistinguishability claim visible."""
+        spec = leader_echo_spec(8, 4)
+        isolated = spec.run_uniform(0, isolate_group({7}, 1))
+        swapped = swap_omission(isolated, 7)
+        diffs = diff_executions(isolated, swapped)
+        assert diffs  # something did change
+        assert all(
+            diff.field
+            in ("sent", "send_omitted", "receive_omitted")
+            for diff in diffs
+        )
+
+    def test_limit_respected(self):
+        spec = phase_king_spec(4, 1)
+        left = spec.run([0, 0, 0, 0])
+        right = spec.run([1, 1, 1, 1])
+        diffs = diff_executions(left, right, limit=3)
+        assert len(diffs) == 3
+
+    def test_shape_mismatch_rejected(self):
+        small = phase_king_spec(4, 1).run([0, 1, 0, 1])
+        large = phase_king_spec(7, 2).run_uniform(0)
+        with pytest.raises(ValueError, match="identical shape"):
+            diff_executions(small, large)
+
+
+class TestSweepCommand:
+    def test_cli_sweep_runs(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["sweep", "leader-echo", "--max-t", "8"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "t^2/32" in out
+        assert "fit:" in out
+
+    def test_cli_sweep_proportional(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "dolev-strong",
+                    "--max-t",
+                    "6",
+                    "--grid",
+                    "proportional",
+                ]
+            )
+            == 0
+        )
+        assert "dolev-strong" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for repro.omission.indistinguishability (§3, Figure 1)."""
+
+from repro.omission.indistinguishability import (
+    divergence_profile,
+    first_distinguishing_round,
+    first_send_divergence,
+    indistinguishable_to,
+    indistinguishable_to_all,
+)
+from repro.omission.isolation import isolate_group
+from repro.protocols.eig import eig_consensus_spec
+from repro.protocols.phase_king import phase_king_spec
+
+
+def reference_and_isolated(spec, group, k, proposals=None):
+    proposals = proposals or [index % 2 for index in range(spec.n)]
+    return (
+        spec.run(proposals),
+        spec.run(proposals, isolate_group(group, k)),
+    )
+
+
+class TestBasicRelations:
+    def test_identical_runs_indistinguishable_to_all(self):
+        spec = phase_king_spec(4, 1)
+        left = spec.run([0, 1, 0, 1])
+        right = spec.run([0, 1, 0, 1])
+        assert indistinguishable_to_all(left, right)
+
+    def test_isolation_is_visible_to_the_isolated(self):
+        spec = phase_king_spec(7, 2)
+        reference, isolated = reference_and_isolated(spec, {5, 6}, 2)
+        assert not indistinguishable_to(reference, isolated, 5)
+
+    def test_isolation_invisible_before_it_starts(self):
+        spec = phase_king_spec(7, 2)
+        reference, isolated = reference_and_isolated(spec, {5, 6}, 3)
+        assert first_distinguishing_round(reference, isolated, 5) >= 3
+
+    def test_proposal_difference_is_round_zero(self):
+        spec = phase_king_spec(4, 1)
+        left = spec.run([0, 1, 0, 1])
+        right = spec.run([1, 1, 0, 1])
+        assert first_distinguishing_round(left, right, 0) == 0
+
+    def test_different_sizes_never_indistinguishable(self):
+        small = phase_king_spec(4, 1).run([0, 1, 0, 1])
+        large = phase_king_spec(7, 2).run_uniform(0)
+        assert not indistinguishable_to_all(small, large)
+
+
+class TestFigureOneBands:
+    """The quantitative content of Figure 1, on EIG's relay cascade."""
+
+    def test_bands_at_r_plus_one_and_r_plus_two(self):
+        spec = eig_consensus_spec(10, 3)
+        group = frozenset({8, 9})
+        isolate_at = 2
+        reference, isolated = reference_and_isolated(
+            spec, group, isolate_at
+        )
+        profile = divergence_profile(reference, isolated)
+        inside = profile.earliest_send_divergence(group)
+        outside = profile.earliest_send_divergence(
+            frozenset(range(10)) - group
+        )
+        # Red band: the isolated group's sends deviate no earlier than
+        # one round after the isolation bites.
+        assert inside is not None and inside >= isolate_at + 1
+        # Blue band: the outside deviates no earlier than one further
+        # propagation step.
+        assert outside is not None and outside >= isolate_at + 2
+
+    def test_no_divergence_without_faults(self):
+        spec = eig_consensus_spec(7, 2)
+        proposals = [index % 2 for index in range(7)]
+        left = spec.run(proposals)
+        right = spec.run(proposals)
+        profile = divergence_profile(left, right)
+        assert all(
+            value is None
+            for value in profile.send_divergence.values()
+        )
+
+    def test_first_send_divergence_ignores_omission_split(self):
+        """Send divergence compares attempted sends (sent ∪ omitted):
+        pure receive-omission adversaries never forge divergence before
+        the state actually changes."""
+        spec = eig_consensus_spec(7, 2)
+        reference, isolated = reference_and_isolated(spec, {6}, 1)
+        assert first_send_divergence(reference, isolated, 6) >= 2

@@ -1,0 +1,167 @@
+"""Tests for approximate agreement (§7's beyond-agreement direction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.approximate import (
+    approximate_agreement_spec,
+    rounds_for_precision,
+)
+from repro.protocols.byzantine_strategies import garbage, mute
+from repro.sim.adversary import ByzantineAdversary
+from repro.sim.process import Process
+from repro.types import Round
+
+
+def correct_decisions(execution):
+    return [
+        execution.decision(pid) for pid in sorted(execution.correct)
+    ]
+
+
+class TestRoundsForPrecision:
+    def test_halving_analysis(self):
+        assert rounds_for_precision(1.0, 0.25) == 2
+        assert rounds_for_precision(8.0, 1.0) == 3
+        assert rounds_for_precision(0.1, 1.0) == 1
+
+
+class TestFaultFree:
+    def test_unanimous_inputs_fixed_point(self):
+        spec = approximate_agreement_spec(4, 1, rounds=3)
+        execution = spec.run([5.0, 5.0, 5.0, 5.0])
+        assert correct_decisions(execution) == [5.0] * 4
+
+    def test_convergence_within_epsilon(self):
+        epsilon = 1e-3
+        spec = approximate_agreement_spec(
+            7, 2, spread=1.0, epsilon=epsilon
+        )
+        execution = spec.run([0.0, 1.0, 0.5, 0.25, 0.75, 0.1, 0.9])
+        decisions = correct_decisions(execution)
+        assert max(decisions) - min(decisions) <= epsilon
+
+    def test_range_validity(self):
+        spec = approximate_agreement_spec(4, 1, rounds=4)
+        execution = spec.run([0.0, 0.2, 0.8, 1.0])
+        for decision in correct_decisions(execution):
+            assert 0.0 <= decision <= 1.0
+
+    def test_rejects_non_numeric_proposal(self):
+        spec = approximate_agreement_spec(4, 1, rounds=2)
+        with pytest.raises(ValueError, match="numbers"):
+            spec.factory(0, "not-a-number")
+
+    def test_resilience_guard(self):
+        with pytest.raises(ValueError, match="n > 3t"):
+            approximate_agreement_spec(6, 2, rounds=2).factory(0, 0.0)
+
+
+class _Extremist(Process):
+    """Byzantine strategy: scream huge values in both directions."""
+
+    def outgoing(self, round_: Round):
+        return {
+            other: ("aa", 1e9 if other % 2 else -1e9)
+            for other in range(self.n)
+            if other != self.pid
+        }
+
+    def deliver(self, round_, received):
+        return None
+
+
+class TestByzantine:
+    def _extremist(self):
+        return lambda pid, factory, proposal: _Extremist(
+            pid, 7, 2, proposal
+        )
+
+    def test_extreme_values_trimmed(self):
+        """Byzantine ±1e9 values must never drag decisions outside the
+        correct range — the trimming at work."""
+        spec = approximate_agreement_spec(7, 2, rounds=6)
+        adversary = ByzantineAdversary(
+            {5, 6},
+            {5: self._extremist(), 6: self._extremist()},
+        )
+        execution = spec.run(
+            [0.0, 0.5, 1.0, 0.25, 0.75, 0.0, 0.0], adversary
+        )
+        decisions = correct_decisions(execution)
+        for decision in decisions:
+            assert 0.0 <= decision <= 1.0
+
+    def test_epsilon_agreement_under_attack(self):
+        epsilon = 2 ** -8
+        spec = approximate_agreement_spec(7, 2, rounds=10)
+        adversary = ByzantineAdversary(
+            {5, 6}, {5: self._extremist(), 6: mute()}
+        )
+        execution = spec.run(
+            [0.0, 0.5, 1.0, 0.25, 0.75, 0.0, 0.0], adversary
+        )
+        decisions = correct_decisions(execution)
+        assert max(decisions) - min(decisions) <= epsilon
+
+    def test_garbage_ignored(self):
+        spec = approximate_agreement_spec(4, 1, rounds=5)
+        adversary = ByzantineAdversary({3}, {3: garbage()})
+        execution = spec.run([0.0, 1.0, 0.5, 0.5], adversary)
+        decisions = correct_decisions(execution)
+        assert max(decisions) - min(decisions) <= 0.5
+        for decision in decisions:
+            assert 0.0 <= decision <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        proposals=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=7,
+            max_size=7,
+        ),
+        corrupt=st.integers(0, 6),
+    )
+    def test_validity_and_convergence_property(
+        self, proposals, corrupt
+    ):
+        """Property: decisions stay in the correct range and halve the
+        spread per round, under one extremist Byzantine process."""
+        spec = approximate_agreement_spec(7, 2, rounds=8)
+        adversary = ByzantineAdversary(
+            {corrupt}, {corrupt: self._extremist()}
+        )
+        execution = spec.run(list(proposals), adversary)
+        correct = sorted(execution.correct)
+        low = min(proposals[pid] for pid in correct)
+        high = max(proposals[pid] for pid in correct)
+        decisions = correct_decisions(execution)
+        for decision in decisions:
+            assert low - 1e-9 <= decision <= high + 1e-9
+        assert max(decisions) - min(decisions) <= max(
+            (high - low) / 2**8, 1e-12
+        ) + 1e-12
+
+
+class TestOutsideTheFormalism:
+    def test_decisions_may_legitimately_differ(self):
+        """With few rounds, correct decisions differ (within the bound):
+        approximate agreement has no Agreement property, so the §4.1
+        formalism — and with it the Ω(t²) theorem — does not apply.
+        That is the paper's §7 open direction, reproduced as a fact."""
+        spec = approximate_agreement_spec(7, 2, rounds=1)
+        # A mute Byzantine process makes views differ (each correct
+        # process substitutes its own value for the silent slot), so a
+        # single round leaves genuinely different decisions.
+        adversary = ByzantineAdversary({6}, {6: mute()})
+        execution = spec.run(
+            [0.0, 0.1, 0.2, 0.3, 0.4, 1.0, 0.5], adversary
+        )
+        decisions = set(correct_decisions(execution))
+        assert len(decisions) > 1

@@ -1,0 +1,92 @@
+"""Tests for early-stopping crash consensus (§6, [50])."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.latency import LatencyReport
+from repro.protocols.early_stopping import early_stopping_spec
+from repro.sim.adversary import CrashAdversary
+
+
+def decisions(execution):
+    return set(execution.correct_decisions().values())
+
+
+class TestCorrectness:
+    def test_fault_free_decides_min(self):
+        spec = early_stopping_spec(5, 3)
+        execution = spec.run([4, 2, 7, 2, 9])
+        assert decisions(execution) == {2}
+
+    def test_agreement_under_crashes(self):
+        spec = early_stopping_spec(5, 3)
+        execution = spec.run(
+            [4, 2, 7, 2, 9], CrashAdversary({1: 1, 3: 2})
+        )
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert None not in agreed
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        proposals=st.lists(
+            st.integers(0, 4), min_size=6, max_size=6
+        ),
+        crashes=st.dictionaries(
+            st.integers(0, 5), st.integers(1, 6), max_size=3
+        ),
+    )
+    def test_agreement_property_under_any_crash_schedule(
+        self, proposals, crashes
+    ):
+        spec = early_stopping_spec(6, 3)
+        execution = spec.run(proposals, CrashAdversary(crashes))
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert None not in agreed
+        # Validity: the decision is somebody's proposal.
+        assert agreed.pop() in set(proposals)
+
+
+class TestEarlyStoppingLatency:
+    def test_fault_free_decides_in_two_rounds(self):
+        """f = 0: W stabilizes immediately; decide at round 2 = f + 2."""
+        spec = early_stopping_spec(8, 6)
+        report = LatencyReport.of(spec.run_uniform(1))
+        assert report.latest == 2
+
+    def test_latency_tracks_actual_faults(self):
+        """f crashes delay decision to about f + 2 rounds, far below the
+        worst-case t + 2 when f << t."""
+        n, t = 8, 6
+        spec = early_stopping_spec(n, t)
+        # f = 2 staggered crashes (each visible in a distinct round).
+        execution = spec.run_uniform(
+            1, CrashAdversary({6: 1, 7: 2})
+        )
+        report = LatencyReport.of(execution)
+        assert report.all_decided
+        assert report.latest <= 2 + 2
+        assert report.latest < t + 2
+
+    def test_worst_case_still_bounded(self):
+        n, t = 6, 4
+        spec = early_stopping_spec(n, t)
+        crashes = {pid: pid for pid in range(1, 5)}  # one per round
+        execution = spec.run_uniform(1, CrashAdversary(crashes))
+        report = LatencyReport.of(execution)
+        assert report.all_decided
+        assert report.latest <= t + 2
+
+    def test_plain_floodset_never_stops_early(self):
+        """The baseline FloodSet always takes t + 1 rounds; the early
+        stopper beats it whenever f < t."""
+        from repro.protocols.floodset import floodset_spec
+
+        n, t = 8, 6
+        flood = LatencyReport.of(floodset_spec(n, t).run_uniform(1))
+        early = LatencyReport.of(
+            early_stopping_spec(n, t).run_uniform(1)
+        )
+        assert flood.latest == t + 1
+        assert early.latest == 2

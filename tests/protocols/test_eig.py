@@ -1,0 +1,131 @@
+"""Tests for EIG agreement (n > 3t): Agreement + Strong Validity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.byzantine_strategies import garbage, mute, two_faced
+from repro.protocols.eig import (
+    eig_consensus_spec,
+    eig_vector_spec,
+)
+from repro.sim.adversary import ByzantineAdversary, CrashAdversary
+
+
+def decisions(execution):
+    return set(execution.correct_decisions().values())
+
+
+class TestResilienceGuard:
+    def test_rejects_n_at_most_3t(self):
+        with pytest.raises(ValueError, match="n > 3t"):
+            eig_consensus_spec(6, 2).factory(0, 0)
+
+    def test_accepts_boundary(self):
+        eig_consensus_spec(7, 2).factory(0, 0)
+
+
+class TestFaultFree:
+    def test_unanimous_proposals_decided(self):
+        spec = eig_consensus_spec(4, 1)
+        assert decisions(spec.run_uniform(1)) == {1}
+
+    def test_majority_value_wins(self):
+        spec = eig_consensus_spec(4, 1)
+        assert decisions(spec.run([0, 1, 1, 1])) == {1}
+
+    def test_common_vector(self):
+        spec = eig_vector_spec(4, 1)
+        execution = spec.run([3, 1, 4, 1])
+        assert decisions(execution) == {(3, 1, 4, 1)}
+
+
+class TestDeeperTree:
+    def test_t_three_tree_resolution(self):
+        """t = 3 exercises three levels of recursive majority."""
+        spec = eig_consensus_spec(10, 3)
+        execution = spec.run([0, 1] * 5)
+        assert decisions(execution) == {0} or decisions(
+            execution
+        ) == {1}
+        assert len(decisions(execution)) == 1
+
+    def test_t_three_under_attack(self):
+        spec = eig_consensus_spec(10, 3)
+        adversary = ByzantineAdversary(
+            {7, 8, 9},
+            {7: two_faced(0, 1), 8: mute(), 9: garbage()},
+        )
+        execution = spec.run([1] * 7 + [0, 0, 0], adversary)
+        assert decisions(execution) == {1}
+
+
+class TestByzantine:
+    def test_agreement_under_two_faced(self):
+        spec = eig_consensus_spec(7, 2)
+        adversary = ByzantineAdversary(
+            {5, 6},
+            {5: two_faced(0, 1), 6: two_faced(1, 0)},
+        )
+        execution = spec.run([0, 0, 0, 1, 1, 0, 1], adversary)
+        assert len(decisions(execution)) == 1
+
+    def test_strong_validity_under_mute(self):
+        spec = eig_consensus_spec(7, 2)
+        adversary = ByzantineAdversary({5, 6}, {5: mute(), 6: mute()})
+        execution = spec.run([1, 1, 1, 1, 1, 0, 0], adversary)
+        assert decisions(execution) == {1}
+
+    def test_strong_validity_under_garbage(self):
+        spec = eig_consensus_spec(4, 1)
+        adversary = ByzantineAdversary({3}, {3: garbage()})
+        execution = spec.run([1, 1, 1, 0], adversary)
+        assert decisions(execution) == {1}
+
+    def test_vector_mode_ic_validity(self):
+        """IC-Validity: correct slots hold the correct proposals."""
+        spec = eig_vector_spec(7, 2)
+        adversary = ByzantineAdversary(
+            {5, 6}, {5: two_faced(0, 1), 6: mute()}
+        )
+        execution = spec.run([0, 1, 0, 1, 0, 1, 0], adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        vector = next(iter(agreed))
+        for pid in range(5):  # the correct processes
+            assert vector[pid] == execution.proposals()[pid]
+
+    def test_crash_faults(self):
+        spec = eig_consensus_spec(4, 1)
+        execution = spec.run([1, 1, 1, 1], CrashAdversary({2: 2}))
+        assert decisions(execution) == {1}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        proposals=st.lists(
+            st.integers(0, 1), min_size=4, max_size=4
+        ),
+        strategy_pick=st.sampled_from(["mute", "garbage", "two-faced"]),
+        corrupt=st.integers(0, 3),
+    )
+    def test_agreement_property(self, proposals, strategy_pick, corrupt):
+        """Property: one Byzantine process never splits n=4, t=1 EIG."""
+        strategies = {
+            "mute": mute(),
+            "garbage": garbage(),
+            "two-faced": two_faced(0, 1),
+        }
+        spec = eig_consensus_spec(4, 1)
+        adversary = ByzantineAdversary(
+            {corrupt}, {corrupt: strategies[strategy_pick]}
+        )
+        execution = spec.run(proposals, adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert None not in agreed
+        # Strong validity among the correct.
+        correct_proposals = {
+            proposals[pid] for pid in execution.correct
+        }
+        if len(correct_proposals) == 1:
+            assert agreed == correct_proposals

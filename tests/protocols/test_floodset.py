@@ -1,0 +1,89 @@
+"""Tests for FloodSet: crash-correct, omission-fragile."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.floodset import floodset_spec
+from repro.sim.adversary import (
+    CrashAdversary,
+    OmissionSchedule,
+    ScheduledOmissionAdversary,
+)
+
+
+def decisions(execution):
+    return set(execution.correct_decisions().values())
+
+
+class TestCrashModel:
+    def test_fault_free_decides_min(self):
+        spec = floodset_spec(4, 1)
+        execution = spec.run([3, 1, 4, 1])
+        assert decisions(execution) == {1}
+
+    def test_single_crash(self):
+        spec = floodset_spec(4, 1)
+        execution = spec.run([3, 1, 4, 5], CrashAdversary({1: 1}))
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        # p1 crashed before sending anything: 1 never circulates.
+        assert agreed == {3}
+
+    def test_validity_values_are_proposals(self):
+        spec = floodset_spec(5, 2)
+        proposals = [9, 7, 8, 7, 9]
+        execution = spec.run(
+            proposals, CrashAdversary({0: 2, 4: 1})
+        )
+        decided = decisions(execution)
+        assert len(decided) == 1
+        assert decided.pop() in set(proposals)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        proposals=st.lists(
+            st.integers(0, 3), min_size=5, max_size=5
+        ),
+        crashes=st.dictionaries(
+            st.integers(0, 4), st.integers(1, 4), max_size=2
+        ),
+    )
+    def test_agreement_under_any_crash_schedule(
+        self, proposals, crashes
+    ):
+        """Property: the t+1-round common-round argument really works
+        for crashes — agreement holds for every crash schedule."""
+        spec = floodset_spec(5, 2)
+        execution = spec.run(proposals, CrashAdversary(crashes))
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert None not in agreed
+
+
+class TestOmissionFragility:
+    def test_last_round_selective_omission_splits(self):
+        """The §3 trap: one omission-faulty process reaching a single
+        receiver in the final round splits the correct processes —
+        FloodSet's crash argument does not survive the omission model."""
+        n, t = 5, 2
+        spec = floodset_spec(n, t)
+        last = spec.rounds
+
+        def drop(message):
+            if message.sender != 0:
+                return False
+            if message.round < last:
+                return True
+            return message.receiver != 1
+
+        adversary = ScheduledOmissionAdversary(
+            {0},
+            OmissionSchedule(
+                send_drops=drop, receive_drops=lambda m: False
+            ),
+        )
+        # p0 holds the unique minimum; only p1 ever learns it.
+        execution = spec.run([0, 5, 5, 5, 5], adversary)
+        assert execution.decision(1) == 0
+        assert execution.decision(2) == 5
+        assert {1, 2} <= execution.correct

@@ -1,0 +1,104 @@
+"""Tests for crash-model k-set agreement (§7's other relaxation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.kset import kset_rounds, kset_spec
+from repro.sim.adversary import CrashAdversary
+
+
+def decided_values(execution):
+    return {
+        execution.decision(pid) for pid in execution.correct
+    }
+
+
+class TestRounds:
+    def test_round_bound(self):
+        assert kset_rounds(6, 1) == 7  # consensus latency
+        assert kset_rounds(6, 2) == 4
+        assert kset_rounds(6, 3) == 3
+        assert kset_rounds(6, 7) == 1
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="k must be"):
+            kset_rounds(4, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            kset_spec(5, 2, 0).factory(0, 0)
+
+
+class TestFaultFree:
+    def test_fault_free_converges_to_one_value(self):
+        spec = kset_spec(6, 4, k=2)
+        execution = spec.run([5, 3, 9, 1, 7, 2])
+        assert decided_values(execution) == {1}
+
+    def test_k1_is_consensus(self):
+        spec = kset_spec(5, 2, k=1)
+        execution = spec.run([4, 2, 7, 2, 9], CrashAdversary({1: 1}))
+        assert len(decided_values(execution)) == 1
+
+
+class TestKSetBound:
+    def test_at_most_k_decisions_under_staggered_crashes(self):
+        """The adversarial crash pattern that defeats one-round-per-
+        crash flooding: each round, one crasher reaches only some
+        processes.  Decisions may split, but never beyond k."""
+        n, t, k = 8, 6, 2
+        spec = kset_spec(n, t, k=k)
+        # Stagger crashes through the ⌊t/k⌋+1 = 4 rounds.
+        from repro.sim.adversary import (
+            OmissionSchedule,
+            ScheduledOmissionAdversary,
+        )
+
+        def drop(message):
+            crashers = {0: 1, 1: 2, 2: 3, 3: 4}
+            crash_round = crashers.get(message.sender)
+            if crash_round is None:
+                return False
+            if message.round > crash_round:
+                return True
+            # In its crash round, reach only one neighbour.
+            return (
+                message.round == crash_round
+                and message.receiver != message.sender + 4
+            )
+
+        adversary = ScheduledOmissionAdversary(
+            {0, 1, 2, 3},
+            OmissionSchedule(
+                send_drops=drop, receive_drops=lambda m: False
+            ),
+        )
+        execution = spec.run([0, 1, 2, 3, 9, 9, 9, 9], adversary)
+        assert len(decided_values(execution)) <= k
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        proposals=st.lists(
+            st.integers(0, 9), min_size=6, max_size=6
+        ),
+        crashes=st.dictionaries(
+            st.integers(0, 5), st.integers(1, 4), max_size=3
+        ),
+        k=st.integers(1, 3),
+    )
+    def test_k_bound_property_under_crashes(
+        self, proposals, crashes, k
+    ):
+        """Property: across random crash schedules, at most k distinct
+        values are decided and each is some process's proposal."""
+        n, t = 6, 3
+        spec = kset_spec(n, t, k=k)
+        execution = spec.run(proposals, CrashAdversary(crashes))
+        values = decided_values(execution)
+        assert None not in values
+        assert len(values) <= k
+        assert values <= set(proposals)
+
+    def test_latency_advantage_over_consensus(self):
+        """The point of relaxing: k=3 at t=6 needs 3 rounds, consensus 7."""
+        assert kset_spec(8, 6, k=3).rounds == 3
+        assert kset_spec(8, 6, k=1).rounds == 7

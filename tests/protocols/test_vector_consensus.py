@@ -1,0 +1,101 @@
+"""Tests for vector consensus ([38] in §6)."""
+
+from repro.protocols.byzantine_strategies import garbage, mute
+from repro.protocols.vector_consensus import vector_consensus_spec
+from repro.sim.adversary import ByzantineAdversary, CrashAdversary
+from repro.validity.input_config import InputConfig
+from repro.validity.standard import ABSENT, vector_consensus_problem
+
+
+def decisions(execution):
+    return set(execution.correct_decisions().values())
+
+
+class TestProtocol:
+    def test_fault_free_full_vector(self):
+        spec = vector_consensus_spec(4, 1)
+        execution = spec.run([1, 0, 1, 0])
+        assert decisions(execution) == {(1, 0, 1, 0)}
+
+    def test_crashed_slot_absent(self):
+        spec = vector_consensus_spec(4, 1)
+        execution = spec.run([1, 0, 1, 0], CrashAdversary({2: 1}))
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        vector = next(iter(agreed))
+        assert vector[2] == ABSENT
+        filled = sum(1 for slot in vector if slot != ABSENT)
+        assert filled >= 4 - 1
+
+    def test_validity_against_the_problem(self):
+        """Decisions satisfy the formal vector-consensus validity."""
+        problem = vector_consensus_problem(4, 1)
+        spec = vector_consensus_spec(4, 1)
+        adversary = ByzantineAdversary({3}, {3: mute()})
+        execution = spec.run([0, 1, 1, 0], adversary)
+        config = InputConfig.from_mapping(
+            4, 1, {pid: execution.proposals()[pid]
+                   for pid in execution.correct}
+        )
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert problem.check_decision(config, next(iter(agreed)))
+
+    def test_agreement_under_garbage(self):
+        spec = vector_consensus_spec(5, 2)
+        adversary = ByzantineAdversary(
+            {1, 4}, {1: garbage(), 4: garbage()}
+        )
+        execution = spec.run([0, 1, 0, 1, 0], adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        vector = next(iter(agreed))
+        for pid in (0, 2, 3):
+            assert vector[pid] == execution.proposals()[pid]
+
+
+class TestProblemFormalization:
+    def test_cc_holds(self):
+        from repro.solvability.cc import satisfies_cc
+
+        assert satisfies_cc(vector_consensus_problem(3, 1))
+
+    def test_non_trivial(self):
+        assert not vector_consensus_problem(3, 1).is_trivial()
+
+    def test_correct_slots_constrained(self):
+        problem = vector_consensus_problem(3, 1)
+        config = InputConfig.full(3, 1, [0, 1, 0])
+        for vector in problem.admissible(config):
+            assert vector[0] in (0, ABSENT)
+            assert vector[1] in (1, ABSENT)
+            assert vector[2] in (0, ABSENT)
+
+    def test_minimum_fill_enforced(self):
+        problem = vector_consensus_problem(3, 1)
+        config = InputConfig.full(3, 1, [0, 0, 0])
+        for vector in problem.admissible(config):
+            filled = sum(1 for slot in vector if slot != ABSENT)
+            assert filled >= 2
+
+    def test_subject_to_the_lower_bound(self):
+        """Theorem 3 via Algorithm 1: vector consensus anchors a weak
+        consensus at zero extra messages."""
+        from repro.reductions.weak_from_any import reduce_weak_consensus
+
+        n, t = 4, 1
+        spec = vector_consensus_spec(n, t)
+        problem = vector_consensus_problem(n, t)
+        weak = reduce_weak_consensus(spec, problem)
+        assert set(
+            weak.run_uniform(0).correct_decisions().values()
+        ) == {0}
+        assert set(
+            weak.run_uniform(1).correct_decisions().values()
+        ) == {1}
+        assert (
+            weak.run_uniform(0).message_complexity()
+            == spec.run_uniform(
+                problem.input_values[0]
+            ).message_complexity()
+        )

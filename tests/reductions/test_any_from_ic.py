@@ -1,0 +1,195 @@
+"""Tests for Algorithm 2: solving any CC problem over IC (Lemma 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnsolvableProblemError
+from repro.protocols.byzantine_strategies import garbage, mute, two_faced
+from repro.reductions.any_from_ic import solve_via_ic
+from repro.sim.adversary import ByzantineAdversary, CrashAdversary
+from repro.validity.input_config import InputConfig
+from repro.validity.standard import (
+    byzantine_broadcast_problem,
+    correct_proposal_problem,
+    strong_consensus_problem,
+    weak_consensus_problem,
+)
+
+
+def decisions(execution):
+    return set(execution.correct_decisions().values())
+
+
+def input_conf_of(execution):
+    """The §4.1 correspondence: proposals of the correct processes."""
+    return InputConfig.from_mapping(
+        execution.n,
+        execution.t,
+        {
+            pid: execution.proposals()[pid]
+            for pid in execution.correct
+        },
+    )
+
+
+class TestGuards:
+    def test_cc_failure_rejected(self):
+        with pytest.raises(UnsolvableProblemError, match="containment"):
+            solve_via_ic(
+                strong_consensus_problem(4, 2), authenticated=True
+            )
+
+    def test_unauthenticated_needs_n_over_3t(self):
+        with pytest.raises(UnsolvableProblemError, match="n > 3t"):
+            solve_via_ic(
+                weak_consensus_problem(6, 2), authenticated=False
+            )
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            weak_consensus_problem,
+            strong_consensus_problem,
+            byzantine_broadcast_problem,
+            correct_proposal_problem,
+        ],
+    )
+    def test_termination_agreement_validity(self, builder):
+        problem = builder(4, 1)
+        spec = solve_via_ic(problem, authenticated=True)
+        execution = spec.run([0, 1, 1, 0])
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        decided = next(iter(agreed))
+        assert problem.check_decision(input_conf_of(execution), decided)
+
+    def test_unauthenticated_branch(self):
+        problem = strong_consensus_problem(4, 1)
+        spec = solve_via_ic(problem, authenticated=False)
+        execution = spec.run([1, 1, 1, 1])
+        assert decisions(execution) == {1}
+
+
+@st.composite
+def random_solvable_problems(draw):
+    """Random binary problems on (n=4, t=1) that satisfy CC *by
+    construction*.
+
+    Draw a random choice function γ : I → {0, 1} and define
+    ``val(c') = {γ(c) : c ⊇ c'}`` — the γ-values over the up-set of each
+    configuration.  Then for every ``c`` and every ``c' ∈ Cnt(c)``,
+    ``γ(c) ∈ val(c')`` by definition, so γ itself witnesses the
+    containment condition; yet the family ranges over genuinely varied
+    validity structures (weak-consensus-like shapes emerge when γ tracks
+    unanimity).
+    """
+    from repro.validity.input_config import enumerate_input_configs
+    from repro.validity.property import problem_from_table
+
+    n, t = 4, 1
+    configs = list(enumerate_input_configs(n, t, (0, 1)))
+    gamma = {
+        config: draw(st.integers(0, 1)) for config in configs
+    }
+    table = {
+        lower: frozenset(
+            gamma[upper]
+            for upper in configs
+            if upper.contains(lower)
+        )
+        for lower in configs
+    }
+    return problem_from_table("random-γ", n, t, (0, 1), (0, 1), table)
+
+
+class TestTheorem4SufficiencyOnRandomProblems:
+    """Lemma 9 is universally quantified over problems; test it that way."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        problem=random_solvable_problems(),
+        proposals=st.lists(st.integers(0, 1), min_size=4, max_size=4),
+        corrupt=st.integers(0, 3),
+    )
+    def test_algorithm2_solves_random_cc_problems(
+        self, problem, proposals, corrupt
+    ):
+        from repro.solvability.cc import satisfies_cc
+
+        assert satisfies_cc(problem)  # guaranteed by the construction
+        spec = solve_via_ic(problem, authenticated=True)
+        adversary = ByzantineAdversary({corrupt}, {corrupt: mute()})
+        execution = spec.run(proposals, adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        decided = next(iter(agreed))
+        assert problem.check_decision(
+            input_conf_of(execution), decided
+        )
+
+
+class TestUnderFaults:
+    def test_crash_faults(self):
+        problem = strong_consensus_problem(4, 1)
+        spec = solve_via_ic(problem, authenticated=True)
+        execution = spec.run([1, 1, 1, 1], CrashAdversary({2: 1}))
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert problem.check_decision(
+            input_conf_of(execution), next(iter(agreed))
+        )
+
+    def test_byzantine_garbage_sanitized(self):
+        """Byzantine slots can carry junk outside V_I; the sanitizer maps
+        them back before Γ, preserving validity."""
+        problem = strong_consensus_problem(4, 1)
+        spec = solve_via_ic(problem, authenticated=True)
+        adversary = ByzantineAdversary({3}, {3: garbage()})
+        execution = spec.run([1, 1, 1, 0], adversary)
+        agreed = decisions(execution)
+        assert agreed == {1}
+
+    def test_dishonest_majority_authenticated(self):
+        """Lemma 9 at full Dolev–Strong resilience: t = n - 2."""
+        problem = weak_consensus_problem(4, 2)
+        spec = solve_via_ic(problem, authenticated=True)
+        adversary = ByzantineAdversary({2, 3}, {2: mute(), 3: mute()})
+        execution = spec.run([0, 0, 0, 0], adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        assert problem.check_decision(
+            input_conf_of(execution), next(iter(agreed))
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        proposals=st.lists(st.integers(0, 1), min_size=4, max_size=4),
+        corrupt=st.integers(0, 3),
+        pick=st.sampled_from(["mute", "garbage", "two-faced"]),
+        authenticated=st.booleans(),
+    )
+    def test_validity_property_under_attack(
+        self, proposals, corrupt, pick, authenticated
+    ):
+        """Property (the heart of Lemma 9): every decision the reduction
+        reaches satisfies the problem's validity for the *actual* input
+        configuration, under arbitrary single-process Byzantine attack."""
+        strategies = {
+            "mute": mute(),
+            "garbage": garbage(),
+            "two-faced": two_faced(0, 1),
+        }
+        problem = strong_consensus_problem(4, 1)
+        spec = solve_via_ic(problem, authenticated=authenticated)
+        adversary = ByzantineAdversary(
+            {corrupt}, {corrupt: strategies[pick]}
+        )
+        execution = spec.run(proposals, adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+        decided = next(iter(agreed))
+        assert decided is not None
+        assert problem.check_decision(input_conf_of(execution), decided)

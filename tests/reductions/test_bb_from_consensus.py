@@ -1,0 +1,106 @@
+"""Tests for the broadcast-from-consensus composition (§6, [17, 82])."""
+
+import pytest
+
+from repro.protocols.byzantine_strategies import mute, two_faced
+from repro.protocols.phase_king import phase_king_spec
+from repro.protocols.strong_consensus import (
+    authenticated_strong_consensus_spec,
+)
+from repro.reductions.bb_from_consensus import (
+    NO_SENDER_VALUE,
+    broadcast_from_consensus,
+)
+from repro.sim.adversary import ByzantineAdversary, CrashAdversary
+
+
+def decisions(execution):
+    return set(execution.correct_decisions().values())
+
+
+def unauth_bb(n=7, t=2, sender=0):
+    return broadcast_from_consensus(phase_king_spec, n, t, sender)
+
+
+class TestSenderValidity:
+    def test_correct_sender_value_decided(self):
+        spec = unauth_bb()
+        execution = spec.run(["v", 0, 0, 0, 0, 0, 0])
+        assert decisions(execution) == {"v"}
+
+    def test_non_default_sender(self):
+        spec = unauth_bb(sender=3)
+        execution = spec.run([0, 0, 0, "w", 0, 0, 0])
+        assert decisions(execution) == {"w"}
+
+    def test_sender_validity_with_other_byzantine(self):
+        spec = unauth_bb()
+        adversary = ByzantineAdversary(
+            {4, 5}, {4: two_faced(0, 1), 5: mute()}
+        )
+        execution = spec.run(["v", 0, 0, 0, 0, 0, 0], adversary)
+        assert decisions(execution) == {"v"}
+
+
+class TestAgreement:
+    def test_two_faced_sender_cannot_split(self):
+        spec = unauth_bb()
+        adversary = ByzantineAdversary({0}, {0: two_faced("a", "b")})
+        execution = spec.run(["a", 0, 0, 0, 0, 0, 0], adversary)
+        agreed = decisions(execution)
+        assert len(agreed) == 1
+
+    def test_silent_sender_common_default(self):
+        spec = unauth_bb()
+        adversary = ByzantineAdversary({0}, {0: mute()})
+        execution = spec.run(["v", 0, 0, 0, 0, 0, 0], adversary)
+        assert decisions(execution) == {NO_SENDER_VALUE}
+
+    def test_crashing_sender_mid_round(self):
+        from repro.sim.adversary import (
+            OmissionSchedule,
+            ScheduledOmissionAdversary,
+        )
+
+        spec = unauth_bb()
+        adversary = ScheduledOmissionAdversary(
+            {0},
+            OmissionSchedule(
+                send_drops=lambda m: m.round == 1 and m.receiver >= 4,
+                receive_drops=lambda m: False,
+            ),
+        )
+        execution = spec.run(["v", 0, 0, 0, 0, 0, 0], adversary)
+        assert len(decisions(execution)) == 1
+
+
+class TestCostAndComposition:
+    def test_o_n_additional_messages(self):
+        """The [17, 82] remark: broadcast = consensus + O(n) messages."""
+        n, t = 7, 2
+        bb = unauth_bb(n, t)
+        consensus = phase_king_spec(n, t)
+        bb_cost = bb.run(["v", 0, 0, 0, 0, 0, 0]).message_complexity()
+        consensus_cost = consensus.run_uniform(
+            "v"
+        ).message_complexity()
+        assert bb_cost == consensus_cost + (n - 1)
+
+    def test_resilience_inherited(self):
+        spec = unauth_bb(n=6, t=2)  # phase king needs n > 3t
+        with pytest.raises(ValueError, match="n > 3t"):
+            spec.run_uniform(0)
+
+    def test_authenticated_inner_consensus(self):
+        """Composing with the IC-based consensus gives n > 2t broadcast."""
+        spec = broadcast_from_consensus(
+            authenticated_strong_consensus_spec, 5, 2
+        )
+        execution = spec.run(
+            ["v", 0, 0, 0, 0], CrashAdversary({3: 1, 4: 2})
+        )
+        assert decisions(execution) == {"v"}
+        assert spec.authenticated
+
+    def test_rounds_are_consensus_plus_one(self):
+        assert unauth_bb(7, 2).rounds == phase_king_spec(7, 2).rounds + 1

@@ -1,0 +1,49 @@
+"""Tests for the IC-from-broadcasts composition (§6)."""
+
+from repro.reductions.ic_from_bb import (
+    amortization_ratio,
+    ic_from_broadcasts,
+    single_broadcast_baseline,
+)
+
+
+class TestComposition:
+    def test_composed_ic_decides_full_vector(self):
+        spec = ic_from_broadcasts(4, 1)
+        execution = spec.run(["a", "b", "c", "d"])
+        assert execution.decision(0) == ("a", "b", "c", "d")
+
+    def test_names_the_reduction(self):
+        assert ic_from_broadcasts(4, 1).name == "ic-from-n-broadcasts"
+
+    def test_single_baseline_is_dolev_strong(self):
+        spec = single_broadcast_baseline(4, 1, sender=2)
+        execution = spec.run([0, 0, "v", 0])
+        assert execution.decision(0) == "v"
+
+
+class TestAmortization:
+    def test_ratio_below_n(self):
+        """Multiplexing n broadcasts costs less than n times one
+        broadcast (the [88]/[97] amortization theme)."""
+        n, t = 5, 1
+        ic_execution = ic_from_broadcasts(n, t).run(["v"] * n)
+        bb_execution = single_broadcast_baseline(n, t).run(["v"] * n)
+        ratio = amortization_ratio(ic_execution, bb_execution)
+        assert 1.0 <= ratio < n
+
+    def test_zero_baseline_is_infinite(self):
+        n, t = 5, 1
+        ic_execution = ic_from_broadcasts(n, t).run(["v"] * n)
+        silent = ic_from_broadcasts(n, t).run(["v"] * n, rounds=1)
+        # Construct a degenerate "baseline" with no correct messages by
+        # reusing an execution and pretending: easier to call directly.
+        from repro.sim.execution import Execution
+
+        class _Zero:
+            def message_complexity(self):
+                return 0
+
+        assert amortization_ratio(ic_execution, _Zero()) == float(
+            "inf"
+        )

@@ -1,0 +1,74 @@
+"""Tests for adaptive adversaries (footnote 1 of the paper)."""
+
+import pytest
+
+from repro.errors import AdversaryError
+from repro.protocols.dolev_strong import dolev_strong_spec
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+from repro.sim.adversary import (
+    AdaptiveOmissionAdversary,
+    ChattiestTargetAdversary,
+)
+from repro.sim.execution import check_execution, check_transitions
+
+
+class TestAdaptiveBase:
+    def test_starts_uncorrupted(self):
+        assert AdaptiveOmissionAdversary(2).corrupted == frozenset()
+
+    def test_corrupt_is_monotone_and_bounded(self):
+        adversary = AdaptiveOmissionAdversary(2)
+        adversary.corrupt(1)
+        adversary.corrupt(1)  # idempotent
+        adversary.corrupt(4)
+        assert adversary.corrupted == {1, 4}
+        with pytest.raises(AdversaryError, match="exhausted"):
+            adversary.corrupt(2)
+
+    def test_budget_validated_against_t(self):
+        adversary = AdaptiveOmissionAdversary(5)
+        with pytest.raises(AdversaryError, match="exceeds t"):
+            adversary.validate_budget(8, 3)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AdversaryError, match="negative"):
+            AdaptiveOmissionAdversary(-1)
+
+
+class TestChattiestTarget:
+    def test_targets_the_broadcaster(self):
+        """In Dolev–Strong the designated sender talks first; the
+        adaptive adversary silences it from round 2."""
+        spec = dolev_strong_spec(5, 2)
+        adversary = ChattiestTargetAdversary(budget=1)
+        execution = spec.run(["v", 0, 0, 0, 0], adversary)
+        assert 0 in execution.faulty
+        # The trace is still a valid omission execution of the protocol.
+        check_execution(execution)
+        check_transitions(execution, spec.factory)
+
+    def test_agreement_survives_adaptive_attack(self):
+        """Byzantine-resilient protocols shrug off adaptive omissions
+        within budget — the lower bound is about cost, not possibility."""
+        spec = broadcast_weak_consensus_spec(6, 2)
+        adversary = ChattiestTargetAdversary(budget=2)
+        execution = spec.run_uniform(0, adversary)
+        correct = {
+            execution.decision(pid) for pid in execution.correct
+        }
+        assert len(correct) == 1
+        assert None not in correct
+
+    def test_corruption_set_is_recorded_in_the_trace(self):
+        spec = broadcast_weak_consensus_spec(6, 2)
+        adversary = ChattiestTargetAdversary(budget=2)
+        execution = spec.run_uniform(0, adversary)
+        assert execution.faulty == adversary.corrupted
+        assert len(execution.faulty) <= 2
+
+    def test_deterministic_across_runs(self):
+        spec = broadcast_weak_consensus_spec(6, 2)
+        first = spec.run_uniform(0, ChattiestTargetAdversary(2))
+        second = spec.run_uniform(0, ChattiestTargetAdversary(2))
+        assert first.faulty == second.faulty
+        assert first.decisions() == second.decisions()

@@ -1,0 +1,133 @@
+"""Adversarial tests of the execution checker: random trace mutations.
+
+The Appendix-A validity checker is itself load-bearing (it certifies the
+violation witnesses), so it gets fuzzed: take a genuine execution, apply
+a random semantics-breaking mutation, and assert the checker rejects it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelViolation
+from repro.protocols.phase_king import phase_king_spec
+from repro.sim.execution import Execution, check_execution
+from repro.sim.message import Message
+from repro.sim.state import Behavior
+
+
+def base_execution():
+    spec = phase_king_spec(4, 1)
+    return spec.run([0, 1, 0, 1])
+
+
+def replace_behavior(execution, pid, behavior):
+    behaviors = list(execution.behaviors)
+    behaviors[pid] = behavior
+    return Execution(
+        n=execution.n,
+        t=execution.t,
+        faulty=execution.faulty,
+        behaviors=tuple(behaviors),
+    )
+
+
+def mutate_fragment(execution, pid, round_, mutate):
+    behavior = execution.behavior(pid)
+    fragments = list(behavior.fragments)
+    fragments[round_ - 1] = mutate(fragments[round_ - 1])
+    return replace_behavior(
+        execution,
+        pid,
+        Behavior(tuple(fragments), final_state=behavior.final_state),
+    )
+
+
+class TestMutationRejection:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pid=st.integers(0, 3),
+        round_=st.integers(1, 6),
+        victim=st.integers(0, 3),
+    )
+    def test_erasing_a_receipt_is_detected(self, pid, round_, victim):
+        """Dropping a received message without a matching omission
+        breaks send-validity (or, if nothing was received, is a no-op)."""
+        if pid == victim:
+            victim = (victim + 1) % 4
+        execution = base_execution()
+        fragment = execution.behavior(pid).fragment(round_)
+        target = next(
+            (
+                message
+                for message in fragment.received
+                if message.sender == victim
+            ),
+            None,
+        )
+        if target is None:
+            return  # nothing to erase this round
+        mutated = mutate_fragment(
+            execution,
+            pid,
+            round_,
+            lambda f: f.replacing(received=f.received - {target}),
+        )
+        with pytest.raises(ModelViolation):
+            check_execution(mutated)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pid=st.integers(0, 3),
+        round_=st.integers(1, 6),
+        sender=st.integers(0, 3),
+        marker=st.integers(),
+    )
+    def test_injecting_a_ghost_message_is_detected(
+        self, pid, round_, sender, marker
+    ):
+        """A received message nobody sent breaks receive-validity."""
+        if pid == sender:
+            sender = (sender + 1) % 4
+        execution = base_execution()
+        fragment = execution.behavior(pid).fragment(round_)
+        if any(
+            message.sender == sender
+            for message in fragment.all_incoming
+        ):
+            return  # slot occupied; injection would break condition 10
+        ghost = Message(sender, pid, round_, ("ghost", marker))
+        mutated = mutate_fragment(
+            execution,
+            pid,
+            round_,
+            lambda f: f.replacing(received=f.received | {ghost}),
+        )
+        with pytest.raises(ModelViolation):
+            check_execution(mutated)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pid=st.integers(0, 3), round_=st.integers(1, 6))
+    def test_omitting_without_corruption_is_detected(self, pid, round_):
+        """Moving a sent message to send-omitted without marking the
+        process faulty breaks omission-validity (and send-validity for
+        the receiver's record)."""
+        execution = base_execution()
+        fragment = execution.behavior(pid).fragment(round_)
+        if not fragment.sent:
+            return
+        target = sorted(fragment.sent, key=lambda m: m.receiver)[0]
+        mutated = mutate_fragment(
+            execution,
+            pid,
+            round_,
+            lambda f: f.replacing(
+                sent=f.sent - {target},
+                send_omitted=f.send_omitted | {target},
+            ),
+        )
+        with pytest.raises(ModelViolation):
+            check_execution(mutated)
+
+    def test_unmutated_execution_passes(self):
+        check_execution(base_execution())

@@ -1,0 +1,116 @@
+"""Direct tests of the fragment/behavior surgery lemmas (A.2, Lemmas 11-14).
+
+Lemma 11: replacing a fragment's receive-omitted set with any set
+satisfying the five local side-conditions yields a fragment.
+Lemma 12: re-splitting the outgoing messages between sent and
+send-omitted yields a fragment.
+Lemmas 13/14 lift both to whole behaviors.  These are exactly the moves
+``swap_omission`` makes; here they are property-tested in isolation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.phase_king import phase_king_spec
+from repro.sim.adversary import CrashAdversary
+from repro.sim.state import Behavior, check_behavior, check_fragment
+
+
+def recorded_behavior(pid=1):
+    spec = phase_king_spec(4, 1)
+    execution = spec.run([0, 1, 1, 0], CrashAdversary({1: 3}))
+    return execution.behavior(pid)
+
+
+class TestLemma11ReceiveOmittedSurgery:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_any_incoming_resplit_is_a_fragment(self, data):
+        """Moving messages between received and receive-omitted (keeping
+        their union) always satisfies the ten fragment conditions."""
+        behavior = recorded_behavior()
+        round_ = data.draw(
+            st.integers(1, behavior.rounds), label="round"
+        )
+        fragment = behavior.fragment(round_)
+        incoming = sorted(
+            fragment.all_incoming, key=lambda m: m.sender
+        )
+        keep = data.draw(
+            st.sets(st.sampled_from(incoming), max_size=len(incoming))
+            if incoming
+            else st.just(set()),
+            label="received-subset",
+        )
+        surgered = fragment.replacing(
+            received=frozenset(keep),
+            receive_omitted=frozenset(incoming) - frozenset(keep),
+        )
+        check_fragment(surgered)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_dropping_omissions_entirely_is_a_fragment(self, data):
+        behavior = recorded_behavior()
+        round_ = data.draw(st.integers(1, behavior.rounds))
+        fragment = behavior.fragment(round_)
+        surgered = fragment.replacing(
+            receive_omitted=frozenset()
+        )
+        check_fragment(surgered)
+
+
+class TestLemma12OutgoingSurgery:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_any_outgoing_resplit_is_a_fragment(self, data):
+        behavior = recorded_behavior()
+        round_ = data.draw(st.integers(1, behavior.rounds))
+        fragment = behavior.fragment(round_)
+        outgoing = sorted(
+            fragment.all_outgoing, key=lambda m: m.receiver
+        )
+        actually_sent = data.draw(
+            st.sets(st.sampled_from(outgoing), max_size=len(outgoing))
+            if outgoing
+            else st.just(set()),
+        )
+        surgered = fragment.replacing(
+            sent=frozenset(actually_sent),
+            send_omitted=frozenset(outgoing)
+            - frozenset(actually_sent),
+        )
+        check_fragment(surgered)
+
+
+class TestLemmas13And14BehaviorLift:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_per_round_surgery_lifts_to_behaviors(self, data):
+        """Applying per-round incoming/outgoing re-splits to every
+        fragment still yields a structurally valid behavior (states and
+        transitions untouched — that is what lemmas 13/14 assert)."""
+        behavior = recorded_behavior()
+        fragments = []
+        for fragment in behavior.fragments:
+            incoming = sorted(
+                fragment.all_incoming, key=lambda m: m.sender
+            )
+            keep = data.draw(
+                st.sets(
+                    st.sampled_from(incoming), max_size=len(incoming)
+                )
+                if incoming
+                else st.just(set()),
+            )
+            fragments.append(
+                fragment.replacing(
+                    received=frozenset(keep),
+                    receive_omitted=frozenset(incoming)
+                    - frozenset(keep),
+                )
+            )
+        surgered = Behavior(
+            tuple(fragments), final_state=behavior.final_state
+        )
+        check_behavior(surgered)

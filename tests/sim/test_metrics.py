@@ -1,0 +1,62 @@
+"""Tests for repro.sim.metrics."""
+
+from repro.protocols.subquadratic import leader_echo_spec
+from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
+from repro.sim.adversary import SilenceAdversary
+from repro.sim.metrics import (
+    ComplexityReport,
+    dolev_reischuk_floor,
+    meets_lower_bound,
+    quadratic_ratio,
+)
+
+
+class TestComplexityReport:
+    def test_leader_echo_counts(self):
+        spec = leader_echo_spec(5, 2)
+        execution = spec.run_uniform(0)
+        report = ComplexityReport.of(execution)
+        # Round 1: 4 reports to the leader; round 2: 4 verdicts out.
+        assert report.correct_messages == 8
+        assert report.total_messages == 8
+        assert report.per_round == {1: 4, 2: 4}
+        assert report.per_sender[0] == 4  # the leader's broadcast
+
+    def test_faulty_senders_excluded(self):
+        spec = leader_echo_spec(5, 2)
+        execution = spec.run_uniform(0, SilenceAdversary({1, 2}))
+        report = ComplexityReport.of(execution)
+        # p1 and p2's reports are send-omitted, so not even "sent".
+        assert report.correct_messages == 2 + 4
+        assert 1 not in report.per_sender
+        assert 2 not in report.per_sender
+
+    def test_matches_execution_method(self):
+        spec = broadcast_weak_consensus_spec(5, 2)
+        execution = spec.run_uniform(1)
+        assert (
+            ComplexityReport.of(execution).correct_messages
+            == execution.message_complexity()
+        )
+
+    def test_payload_units_positive(self):
+        spec = broadcast_weak_consensus_spec(4, 1)
+        execution = spec.run_uniform(0)
+        assert ComplexityReport.of(execution).payload_units > 0
+
+
+class TestFloors:
+    def test_dolev_reischuk_floor(self):
+        assert dolev_reischuk_floor(8) == 2.0
+        assert dolev_reischuk_floor(16) == 8.0
+
+    def test_meets_lower_bound(self):
+        spec = broadcast_weak_consensus_spec(10, 8)
+        execution = spec.run_uniform(0)
+        assert meets_lower_bound(execution)
+
+    def test_quadratic_ratio(self):
+        assert quadratic_ratio(64, 8) == 1.0
+        assert quadratic_ratio(0, 8) == 0.0
+        assert quadratic_ratio(5, 0) == float("inf")
+        assert quadratic_ratio(0, 0) == 0.0

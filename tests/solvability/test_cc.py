@@ -1,0 +1,136 @@
+"""Tests for the containment condition and Γ (Definition 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnsolvableProblemError
+from repro.solvability.cc import (
+    containment_condition,
+    satisfies_cc,
+    verify_gamma,
+)
+from repro.validity.input_config import InputConfig, enumerate_input_configs
+from repro.validity.property import problem_from_table
+from repro.validity.standard import (
+    byzantine_broadcast_problem,
+    constant_problem,
+    strong_consensus_problem,
+    weak_consensus_problem,
+)
+
+
+class TestStandardProblems:
+    def test_weak_consensus_satisfies_cc(self):
+        report = containment_condition(weak_consensus_problem(4, 1))
+        assert report.holds
+        assert not report.failures
+
+    def test_broadcast_satisfies_cc(self):
+        assert satisfies_cc(byzantine_broadcast_problem(4, 1))
+
+    def test_strong_consensus_cc_depends_on_resilience(self):
+        assert satisfies_cc(strong_consensus_problem(5, 2))
+        assert not satisfies_cc(strong_consensus_problem(4, 2))
+
+    def test_failure_report_names_configurations(self):
+        report = containment_condition(strong_consensus_problem(4, 2))
+        assert not report.holds
+        assert report.failures
+        # The paper's mixed configuration must be among the failures.
+        mixed = InputConfig.full(4, 2, [0, 0, 1, 1])
+        assert mixed in report.failures
+
+    def test_trivial_problem_satisfies_cc(self):
+        """A trivial problem always has Γ = the constant witness."""
+        report = containment_condition(constant_problem(4, 1, value=1))
+        assert report.holds
+        assert set(report.gamma.values()) == {1}
+
+
+class TestGammaFunction:
+    def test_gamma_total_on_enumerated_configs(self):
+        problem = weak_consensus_problem(3, 1)
+        gamma = containment_condition(problem).gamma_fn()
+        for config in problem.input_configs():
+            assert gamma(config) in problem.admissible(config)
+
+    def test_gamma_respects_definition3(self):
+        problem = weak_consensus_problem(3, 1)
+        report = containment_condition(problem)
+        assert verify_gamma(problem, report.gamma_fn()) == []
+
+    def test_gamma_fn_raises_when_cc_fails(self):
+        report = containment_condition(strong_consensus_problem(4, 2))
+        with pytest.raises(UnsolvableProblemError, match="containment"):
+            report.gamma_fn()
+
+    def test_gamma_unknown_config_raises(self):
+        problem = weak_consensus_problem(3, 1)
+        gamma = containment_condition(problem).gamma_fn()
+        foreign = InputConfig.full(3, 1, ["x", "y", "z"])
+        with pytest.raises(KeyError, match="not defined"):
+            gamma(foreign)
+
+    def test_verify_gamma_catches_bad_assignments(self):
+        problem = weak_consensus_problem(3, 1)
+        report = containment_condition(problem)
+        broken = dict(report.gamma)
+        unanimous_zero = InputConfig.full(3, 1, [0, 0, 0])
+        broken[unanimous_zero] = 1  # inadmissible under the config itself
+        violations = verify_gamma(problem, broken)
+        assert violations
+        assert "inadmissible" in violations[0]
+
+    def test_verify_gamma_catches_missing_entries(self):
+        problem = weak_consensus_problem(3, 1)
+        violations = verify_gamma(problem, {})
+        assert all("undefined" in entry for entry in violations)
+        assert violations
+
+
+@st.composite
+def random_problems(draw):
+    """Arbitrary table-backed binary problems on (n=3, t=1)."""
+    n, t = 3, 1
+    configs = list(enumerate_input_configs(n, t, (0, 1)))
+    table = {
+        config: frozenset(
+            draw(
+                st.sampled_from(
+                    [frozenset({0}), frozenset({1}), frozenset({0, 1})]
+                )
+            )
+        )
+        for config in configs
+    }
+    return problem_from_table("random", n, t, (0, 1), (0, 1), table)
+
+
+class TestCCProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_problems())
+    def test_cc_report_internally_consistent(self, problem):
+        """Property: whenever the decision procedure claims CC, the Γ it
+        built passes the independent Definition-3 verifier; whenever it
+        refuses, some configuration's intersection really is empty."""
+        report = containment_condition(problem)
+        if report.holds:
+            assert verify_gamma(problem, report.gamma_fn()) == []
+        else:
+            config = report.failures[0]
+            from repro.validity.containment import (
+                admissible_under_containment,
+            )
+
+            assert (
+                admissible_under_containment(problem, config)
+                == frozenset()
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_problems())
+    def test_trivial_implies_cc(self, problem):
+        """Property: triviality implies CC (the constant is a Γ)."""
+        if problem.is_trivial():
+            assert satisfies_cc(problem)

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_subcommands_registered(self):
+        parser = build_parser()
+        for experiment in ("e1", "e5", "e9", "all"):
+            args = parser.parse_args([experiment])
+            assert args.command == experiment
+
+    def test_attack_arguments(self):
+        args = build_parser().parse_args(
+            ["attack", "silent", "--n", "20", "--t", "12"]
+        )
+        assert args.protocol == "silent"
+        assert (args.n, args.t) == (20, 12)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_experiment_runs(self, capsys):
+        assert main(["e6"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 5" in out
+
+    def test_attack_cheater_exits_zero_on_break(self, capsys):
+        assert main(["attack", "silent", "--n", "12", "--t", "8"]) == 0
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_attack_correct_exits_zero_on_survival(self, capsys):
+        assert main(["attack", "correct", "--n", "8", "--t", "4"]) == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_attack_log_flag(self, capsys):
+        assert (
+            main(["attack", "silent", "--n", "12", "--t", "8", "--log"])
+            == 0
+        )
+        assert "violation:" in capsys.readouterr().out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "strong", "--n", "4", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CC=N" in out
+
+    def test_attack_naive_flooding_expects_no_violation(self, capsys):
+        assert (
+            main(["attack", "naive-flooding", "--n", "12", "--t", "8"])
+            == 0
+        )
+        assert "no violation" in capsys.readouterr().out
+
+
+class TestWitnessFiles:
+    def test_save_and_verify_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "witness.json")
+        assert (
+            main(
+                [
+                    "attack",
+                    "leader-echo",
+                    "--n",
+                    "12",
+                    "--t",
+                    "8",
+                    "--save",
+                    path,
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "verify-witness",
+                    path,
+                    "leader-echo",
+                    "--n",
+                    "12",
+                    "--t",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_verify_against_wrong_protocol_rejected(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "witness.json")
+        main(
+            [
+                "attack",
+                "leader-echo",
+                "--n",
+                "12",
+                "--t",
+                "8",
+                "--save",
+                path,
+            ]
+        )
+        assert (
+            main(
+                ["verify-witness", path, "silent", "--n", "12", "--t", "8"]
+            )
+            == 1
+        )
+        assert "REJECTED" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AdversaryError,
+    ModelViolation,
+    ProtocolViolation,
+    ReproError,
+    SignatureError,
+    TrivialProblemError,
+    UnsolvableProblemError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            ModelViolation,
+            ProtocolViolation,
+            AdversaryError,
+            SignatureError,
+            UnsolvableProblemError,
+            TrivialProblemError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+        with pytest.raises(ReproError):
+            raise exception("boom")
+
+    def test_model_vs_protocol_distinct(self):
+        """Broken traces and broken algorithms are different failures."""
+        assert not issubclass(ModelViolation, ProtocolViolation)
+        assert not issubclass(ProtocolViolation, ModelViolation)
+
+    def test_catchable_individually(self):
+        with pytest.raises(TrivialProblemError):
+            raise TrivialProblemError("t")
+        # But not as each other:
+        with pytest.raises(TrivialProblemError):
+            try:
+                raise TrivialProblemError("t")
+            except UnsolvableProblemError:  # pragma: no cover
+                pytest.fail("wrong class caught")

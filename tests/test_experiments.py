@@ -1,0 +1,125 @@
+"""Integration tests: every experiment reproduces its paper claim.
+
+These run the experiment suite at reduced scale and assert the *shape*
+conclusions EXPERIMENTS.md records — who wins, which boundary holds —
+rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+)
+
+
+class TestE1WeakConsensusFloor:
+    def test_no_point_below_floor(self):
+        result = run_e1(max_t=12)
+        assert result.data["floor_violations"] == []
+
+    def test_report_mentions_fit(self):
+        result = run_e1(max_t=12)
+        assert "power-law fit" in result.report
+
+
+class TestE2FigureOne:
+    def test_bands_match_figure(self):
+        result = run_e2()
+        isolate_at = result.data["isolate_at"]
+        assert result.data["in_group_divergence"] >= isolate_at + 1
+        assert result.data["outside_divergence"] >= isolate_at + 2
+
+
+class TestE3Attack:
+    def test_every_cheater_broken(self):
+        result = run_e3(ts=(8,))
+        outcomes = result.data["outcomes"]
+        assert result.data["broken"] == len(outcomes)
+        assert all(outcome.found_violation for outcome in outcomes)
+
+
+class TestE4Reduction:
+    def test_zero_overhead(self):
+        result = run_e4(n=5, t=1)
+        assert result.data["max_overhead"] == 0
+
+    def test_decisions_follow_the_bit(self):
+        result = run_e4(n=5, t=1)
+        for _, bit, decided, *_ in result.data["rows"]:
+            assert decided == [bit]
+
+
+class TestE5Solvability:
+    def test_standard_problems_classified_solvable(self):
+        result = run_e5(n=4, t=1)
+        for row in result.data["rows"]:
+            name, trivial, cc, auth, unauth, solved = row
+            if trivial == "N":
+                assert cc == "Y"
+                assert auth == "Y"
+                assert solved == "yes"
+
+
+class TestE6Theorem5:
+    def test_boundary_exact(self):
+        result = run_e6(max_n=6)
+        assert result.data["mismatches"] == []
+        assert len(result.data["points"]) > 0
+
+
+class TestE7ProtocolComplexity:
+    def test_dolev_strong_at_least_quadratic_in_t(self):
+        from repro.analysis.fitting import fit_sweep
+
+        result = run_e7(max_t=8)
+        ds_points = result.data["points"]["dolev-strong"]
+        fit = fit_sweep(ds_points)
+        assert fit.exponent >= 1.8  # quadratic shape on the n = 2t grid
+        # And every point respects the Lemma-1 floor.
+        assert all(
+            point.worst_messages >= point.floor for point in ds_points
+        )
+
+
+class TestE8ExternalValidity:
+    def test_corollary1_hypothesis_and_bound(self):
+        result = run_e8(n=5, t=2)
+        assert result.data["decision_a"] != result.data["decision_b"]
+        assert result.data["messages"] >= result.data["floor"]
+
+    def test_reduction_solves_weak_consensus(self):
+        result = run_e8(n=5, t=2)
+        zero = result.data["weak_zero"].correct_decisions()
+        one = result.data["weak_one"].correct_decisions()
+        assert set(zero.values()) == {0}
+        assert set(one.values()) == {1}
+
+
+class TestE9SwapMerge:
+    def test_constructions_verified(self):
+        result = run_e9(n=8, t=4, samples=3)
+        assert result.data["swap_checks"] > 0
+        assert result.data["merge_checks"] > 0
+
+
+class TestReportPlumbing:
+    @pytest.mark.parametrize(
+        "runner,experiment_id",
+        [
+            (run_e2, "E2"),
+            (run_e6, "E6"),
+        ],
+    )
+    def test_result_structure(self, runner, experiment_id):
+        result = runner()
+        assert result.experiment == experiment_id
+        assert result.report
+        assert result.title

@@ -1,0 +1,43 @@
+"""Consistency checks on the experiment and cheater registries."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, CHEATERS
+
+
+class TestExperimentRegistry:
+    def test_all_ids_sequential(self):
+        assert list(ALL_EXPERIMENTS) == [
+            f"e{index}" for index in range(1, 10)
+        ]
+
+    def test_runners_are_callable_and_distinct(self):
+        assert len(set(ALL_EXPERIMENTS.values())) == len(
+            ALL_EXPERIMENTS
+        )
+        for runner in ALL_EXPERIMENTS.values():
+            assert callable(runner)
+
+    def test_experiment_ids_match_results(self):
+        # Spot-check two cheap runners.
+        assert ALL_EXPERIMENTS["e6"]().experiment == "E6"
+        assert ALL_EXPERIMENTS["e2"]().experiment == "E2"
+
+
+class TestCheaterRegistry:
+    @pytest.mark.parametrize("name", sorted(CHEATERS))
+    def test_every_cheater_builds_and_runs(self, name):
+        spec = CHEATERS[name](12, 8)
+        execution = spec.run_uniform(0)
+        assert execution.n == 12
+
+    @pytest.mark.parametrize("name", sorted(CHEATERS))
+    def test_every_cheater_is_subquadratic_in_spirit(self, name):
+        """Registry invariant: at the paper-regime scale every entry
+        spends less than a correct protocol must somewhere — concretely,
+        below n(n-1) (single all-to-all round), the cheapest conceivable
+        quadratic behaviour."""
+        n, t = 20, 16
+        spec = CHEATERS[name](n, t)
+        messages = spec.run_uniform(0).message_complexity()
+        assert messages < n * (n - 1)

@@ -1,0 +1,129 @@
+"""Tests for AgreementProblem and the val-function plumbing."""
+
+import pytest
+
+from repro.validity.input_config import InputConfig
+from repro.validity.property import (
+    AgreementProblem,
+    cached,
+    problem_from_table,
+    tabulate,
+)
+from repro.validity.standard import weak_consensus_problem
+
+
+class TestAgreementProblem:
+    def test_rejects_empty_domains(self):
+        with pytest.raises(ValueError, match="V_I"):
+            AgreementProblem(
+                name="x",
+                n=3,
+                t=1,
+                input_values=(),
+                output_values=(0,),
+                validity=lambda c: frozenset([0]),
+            )
+        with pytest.raises(ValueError, match="V_O"):
+            AgreementProblem(
+                name="x",
+                n=3,
+                t=1,
+                input_values=(0,),
+                output_values=(),
+                validity=lambda c: frozenset([0]),
+            )
+
+    def test_rejects_duplicate_domains(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            AgreementProblem(
+                name="x",
+                n=3,
+                t=1,
+                input_values=(0, 0),
+                output_values=(0,),
+                validity=lambda c: frozenset([0]),
+            )
+
+    def test_admissible_checks_nonempty(self):
+        problem = AgreementProblem(
+            name="empty-val",
+            n=3,
+            t=1,
+            input_values=(0, 1),
+            output_values=(0, 1),
+            validity=lambda c: frozenset(),
+        )
+        with pytest.raises(ValueError, match="empty"):
+            problem.admissible(InputConfig.full(3, 1, [0, 0, 0]))
+
+    def test_admissible_checks_domain(self):
+        problem = AgreementProblem(
+            name="stray-val",
+            n=3,
+            t=1,
+            input_values=(0, 1),
+            output_values=(0, 1),
+            validity=lambda c: frozenset([7]),
+        )
+        with pytest.raises(ValueError, match="leaves V_O"):
+            problem.admissible(InputConfig.full(3, 1, [0, 0, 0]))
+
+    def test_check_decision(self):
+        problem = weak_consensus_problem(3, 1)
+        unanimous = InputConfig.full(3, 1, [0, 0, 0])
+        assert problem.check_decision(unanimous, 0)
+        assert not problem.check_decision(unanimous, 1)
+
+    def test_always_admissible_for_weak_consensus_is_empty(self):
+        assert weak_consensus_problem(3, 1).always_admissible() == (
+            frozenset()
+        )
+
+
+class TestTableBackedProblems:
+    def test_tabulate_roundtrip(self):
+        problem = weak_consensus_problem(3, 1)
+        table = tabulate(problem)
+        rebuilt = problem_from_table(
+            "rebuilt",
+            3,
+            1,
+            problem.input_values,
+            problem.output_values,
+            table,
+        )
+        for config in problem.input_configs():
+            assert rebuilt.admissible(config) == problem.admissible(
+                config
+            )
+
+    def test_missing_entry_raises(self):
+        problem = problem_from_table(
+            "partial", 3, 1, (0, 1), (0, 1), {}
+        )
+        with pytest.raises(KeyError, match="no table entry"):
+            problem.admissible(InputConfig.full(3, 1, [0, 0, 0]))
+
+
+class TestCaching:
+    def test_cached_preserves_semantics(self):
+        calls = []
+
+        def validity(config):
+            calls.append(config)
+            return frozenset([0, 1])
+
+        problem = AgreementProblem(
+            name="counting",
+            n=3,
+            t=1,
+            input_values=(0, 1),
+            output_values=(0, 1),
+            validity=validity,
+        )
+        memoized = cached(problem)
+        config = InputConfig.full(3, 1, [0, 1, 0])
+        first = memoized.admissible(config)
+        second = memoized.admissible(config)
+        assert first == second
+        assert len(calls) == 1

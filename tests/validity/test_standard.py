@@ -1,0 +1,128 @@
+"""Tests for the standard validity properties (§1, §4, §5)."""
+
+import pytest
+
+from repro.validity.input_config import InputConfig
+from repro.validity.standard import (
+    byzantine_broadcast_problem,
+    constant_problem,
+    correct_proposal_problem,
+    external_validity_problem,
+    interactive_consistency_problem,
+    strong_consensus_problem,
+    weak_consensus_problem,
+)
+
+N, T = 4, 1
+
+
+def full(*values):
+    return InputConfig.full(N, T, list(values))
+
+
+def partial(mapping):
+    return InputConfig.from_mapping(N, T, mapping)
+
+
+class TestWeakValidity:
+    def test_binds_only_on_full_unanimity(self):
+        problem = weak_consensus_problem(N, T)
+        assert problem.admissible(full(0, 0, 0, 0)) == {0}
+        assert problem.admissible(full(1, 1, 1, 1)) == {1}
+        assert problem.admissible(full(0, 1, 0, 0)) == {0, 1}
+
+    def test_unconstrained_with_any_fault(self):
+        problem = weak_consensus_problem(N, T)
+        assert problem.admissible(
+            partial({0: 0, 1: 0, 2: 0})
+        ) == {0, 1}
+
+    def test_non_trivial(self):
+        assert not weak_consensus_problem(N, T).is_trivial()
+
+
+class TestStrongValidity:
+    def test_binds_on_correct_unanimity(self):
+        problem = strong_consensus_problem(N, T)
+        assert problem.admissible(partial({0: 1, 1: 1, 3: 1})) == {1}
+
+    def test_unconstrained_on_split(self):
+        problem = strong_consensus_problem(N, T)
+        assert problem.admissible(full(0, 1, 1, 1)) == {0, 1}
+
+    def test_stronger_than_weak(self):
+        """Strong admissible sets are always ⊆ weak ones."""
+        weak = weak_consensus_problem(N, T)
+        strong = strong_consensus_problem(N, T)
+        for config in strong.input_configs():
+            assert strong.admissible(config) <= weak.admissible(
+                config
+            )
+
+
+class TestSenderValidity:
+    def test_correct_sender_forces_its_value(self):
+        problem = byzantine_broadcast_problem(N, T, sender=0)
+        assert problem.admissible(full(1, 0, 0, 0)) == {1}
+
+    def test_faulty_sender_unconstrained(self):
+        problem = byzantine_broadcast_problem(N, T, sender=0)
+        admissible = problem.admissible(partial({1: 0, 2: 0, 3: 0}))
+        assert admissible == {0, 1, "SENDER-FAULTY"}
+
+    def test_non_trivial(self):
+        assert not byzantine_broadcast_problem(N, T).is_trivial()
+
+
+class TestICValidity:
+    def test_decided_vector_contains_configuration(self):
+        problem = interactive_consistency_problem(3, 1)
+        config = partial_3 = InputConfig.from_mapping(
+            3, 1, {0: 0, 2: 1}
+        )
+        for vector in problem.admissible(partial_3):
+            assert vector[0] == 0
+            assert vector[2] == 1
+
+    def test_full_config_pins_the_vector(self):
+        problem = interactive_consistency_problem(3, 1)
+        assert problem.admissible(
+            InputConfig.full(3, 1, [1, 0, 1])
+        ) == {(1, 0, 1)}
+
+    def test_non_trivial(self):
+        assert not interactive_consistency_problem(3, 1).is_trivial()
+
+
+class TestCorrectProposal:
+    def test_admissible_equals_proposed(self):
+        problem = correct_proposal_problem(N, T)
+        assert problem.admissible(full(0, 0, 1, 0)) == {0, 1}
+        assert problem.admissible(full(0, 0, 0, 0)) == {0}
+
+
+class TestExternalValidity:
+    def test_formalism_classifies_it_trivial(self):
+        """§4.3's observation, mechanized."""
+        problem = external_validity_problem(
+            N, T, values=("good", "bad"), predicate=lambda v: v == "good"
+        )
+        assert problem.is_trivial()
+        assert problem.always_admissible() == {"good"}
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError, match="no value"):
+            external_validity_problem(
+                N, T, values=("a",), predicate=lambda v: False
+            )
+
+
+class TestConstant:
+    def test_trivial_by_construction(self):
+        problem = constant_problem(N, T, value=1)
+        assert problem.is_trivial()
+        assert problem.always_admissible() == {1}
+
+    def test_value_must_be_in_domain(self):
+        with pytest.raises(ValueError, match="not in"):
+            constant_problem(N, T, value=9)
