@@ -5,9 +5,19 @@ the replay checker — the fixed costs every experiment pays.  Useful as a
 performance-regression canary for the library itself.
 """
 
+from repro.lowerbound.driver import attack_weak_consensus
 from repro.protocols.dolev_strong import dolev_strong_spec
 from repro.protocols.phase_king import phase_king_spec
+from repro.protocols.subquadratic import ring_token_spec
+from repro.sim.adversary import NoFaults
+from repro.sim.engine import MachineCheckpointer
 from repro.sim.execution import check_execution, check_transitions
+from repro.sim.metrics import ComplexityReport, StreamingComplexity
+from repro.sim.simulator import (
+    SimulationConfig,
+    resume_execution,
+    run_execution,
+)
 
 
 def bench_sim_round_loop_phase_king(benchmark):
@@ -40,3 +50,88 @@ def bench_sim_signature_heavy_run(benchmark):
         lambda: spec.run_uniform("v", check=False)
     )
     assert execution.decision(3) == "v"
+
+
+def bench_sim_incremental_checker_live(benchmark):
+    """The same Phase-King run with the per-round checker attached.
+
+    The delta against ``bench_sim_round_loop_phase_king`` is the live
+    (incremental) cost of the Appendix-A validity conditions.
+    """
+    spec = phase_king_spec(13, 4)
+    execution = benchmark(lambda: spec.run_uniform(1, check=True))
+    assert execution.decision(0) == 1
+
+
+def bench_sim_streaming_metrics(benchmark):
+    """Message accounting as a round observer, vs the post-hoc walk."""
+    spec = phase_king_spec(13, 4)
+
+    def run():
+        streaming = StreamingComplexity()
+        spec.run_uniform(1, check=False, observers=[streaming])
+        return streaming.report()
+
+    report = benchmark(run)
+    assert report.correct_messages > 0
+
+
+def bench_sim_post_hoc_metrics(benchmark):
+    """ComplexityReport.of on a recorded trace (streaming's baseline)."""
+    spec = phase_king_spec(13, 4)
+    execution = spec.run_uniform(1, check=False)
+    report = benchmark(ComplexityReport.of, execution)
+    assert report.correct_messages > 0
+
+
+def bench_sim_checkpoint_resume(benchmark):
+    """Resuming Phase-King mid-run from a machine checkpoint.
+
+    Measures the tail-only cost the driver pays per isolation probe,
+    vs re-simulating the whole horizon from round 1.
+    """
+    spec = phase_king_spec(13, 4)
+    config = SimulationConfig(n=13, t=4, rounds=spec.rounds, check=False)
+    checkpointer = MachineCheckpointer()
+    base = run_execution(
+        config,
+        [1] * 13,
+        spec.factory,
+        NoFaults(),
+        observers=[checkpointer],
+    )
+    resume_at = spec.rounds // 2 + 1
+    prefix = [
+        [base.behavior(pid).fragment(r) for r in range(1, resume_at)]
+        for pid in range(13)
+    ]
+
+    def resume():
+        return resume_execution(
+            config,
+            checkpointer.checkpoint(resume_at),
+            NoFaults(),
+            prefix,
+            resume_at,
+        )
+
+    resumed = benchmark(resume)
+    assert resumed == base
+
+
+def bench_driver_attack_with_reuse(benchmark):
+    """The full lower-bound pipeline on ring-token(12, 8), reuse on."""
+    outcome = benchmark(
+        lambda: attack_weak_consensus(ring_token_spec(12, 8))
+    )
+    assert outcome.found_violation
+
+
+def bench_driver_attack_reuse_free(benchmark):
+    """The same attack with caching, aliasing and early stop disabled."""
+    outcome = benchmark(
+        lambda: attack_weak_consensus(
+            ring_token_spec(12, 8), early_stop=False, reuse=False
+        )
+    )
+    assert outcome.found_violation

@@ -94,6 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the violation witness (if any) as a JSON evidence file",
     )
+    attack.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the per-round model validity checker (faster)",
+    )
+    attack.add_argument(
+        "--early-stop",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="halt decision-only simulations at the decision round",
+    )
 
     verify = subparsers.add_parser(
         "verify-witness",
@@ -163,7 +174,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "attack":
         spec = _resolve_protocol(args.protocol, args.n, args.t)
-        outcome = attack_weak_consensus(spec)
+        outcome = attack_weak_consensus(
+            spec, check=not args.no_check, early_stop=args.early_stop
+        )
         print(outcome.render())
         if args.log:
             print()

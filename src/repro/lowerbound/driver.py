@@ -30,11 +30,25 @@ found — e.g. because every extraction ran into the ``t/2``
 receive-omission budget, which is exactly what ≥ ``t²/32``-message
 algorithms buy themselves — the outcome reports the observed message
 counts against the Lemma-1 floor.
+
+**Execution reuse.**  The pipeline's cost is dominated by re-simulating
+near-identical configurations: every ``E_b^{G(k)}`` shares its first
+``k - 1`` rounds with the fault-free ``E_b``, and consecutive scan steps
+``E_f^{B(k)}``, ``E_f^{B(k+1)}`` are *literally equal* whenever no
+outside message targets ``B`` in round ``k`` (see
+:func:`~repro.omission.isolation.quiescent_toward`).  The
+:class:`ExecutionCache` exploits both: fault-free runs are checkpointed
+per round (:class:`~repro.sim.engine.MachineCheckpointer`) so isolation
+runs resume at their isolation round, and quiescent scan spans collapse
+onto one simulation.  Both reuses produce bit-identical executions —
+machines are deterministic — so witnesses and verdicts are unchanged;
+the engine counters in :class:`AttackOutcome` report the savings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ModelViolation, ReproError
 from repro.lowerbound.bound import BoundComparison
@@ -44,12 +58,105 @@ from repro.lowerbound.witnesses import (
     ViolationWitness,
     verify_witness,
 )
-from repro.omission.isolation import isolate_group
+from repro.omission.isolation import isolate_group, quiescent_toward
 from repro.omission.merge import MergeSpec, merge
 from repro.omission.swap import swap_omission_checked
 from repro.protocols.base import ProtocolSpec
+from repro.sim.engine import (
+    EarlyStopPolicy,
+    MachineCheckpointer,
+    RoundObserver,
+)
 from repro.sim.execution import Execution, majority_decision
+from repro.sim.metrics import StreamingComplexity
+from repro.sim.simulator import SimulationConfig, resume_execution
 from repro.types import Bit, Payload, ProcessId, Round
+
+_SpecKey = tuple[str, int, int, int]
+
+
+@dataclass
+class _CacheEntry:
+    """One cached simulation: the trace, its §2 message count, and
+    whether it ran to the configured horizon (early-stopped traces are
+    valid for decision queries but not as witnesses or merge inputs)."""
+
+    execution: Execution
+    messages: int
+    complete: bool
+
+
+@dataclass
+class ExecutionCache:
+    """Cache of simulated executions keyed by (protocol, bit, adversary).
+
+    The key triple is ``(spec key, proposal bit, adversary signature)``
+    where the spec key is ``(name, n, t, rounds)`` and the signature is
+    ``None`` for fault-free runs or ``(group, from_round)`` for the
+    isolation adversaries of Definition 1 — the only adversary family
+    the pipeline simulates.  A cache may be shared across drivers (and
+    thus across partitions) attacking the same protocol.
+
+    Besides exact hits, the cache performs two *semantic* reuses, both
+    returning executions bit-identical to a fresh simulation:
+
+    * **quiescent aliasing** — ``E_b^{G(k)}`` equals a cached
+      ``E_b^{G(k')}`` when no outside message targets ``G`` between the
+      two isolation rounds (:func:`~repro.omission.isolation.quiescent_toward`);
+    * **beyond-horizon identity** — for ``k`` past the horizon the
+      isolation never acts, so the fault-free behaviors are reused with
+      the faulty set rewritten to ``G``.
+
+    ``hits`` counts exact key hits, ``alias_hits`` the semantic reuses,
+    ``misses`` actual simulations.
+    """
+
+    hits: int = 0
+    alias_hits: int = 0
+    misses: int = 0
+    _entries: dict = field(default_factory=dict, repr=False)
+    _checkpointers: dict = field(default_factory=dict, repr=False)
+
+    def lookup(self, key: tuple) -> _CacheEntry | None:
+        """The entry stored under the exact ``key``, if any."""
+        return self._entries.get(key)
+
+    def store(self, key: tuple, entry: _CacheEntry) -> None:
+        """Insert or replace the entry for ``key``."""
+        self._entries[key] = entry
+
+    def isolation_family(
+        self,
+        spec_key: _SpecKey,
+        bit: Bit,
+        group: frozenset[ProcessId],
+    ) -> list[tuple[Round, _CacheEntry]]:
+        """All cached ``(from_round, entry)`` isolations of ``group``."""
+        family = []
+        for (skey, kbit, sig), entry in self._entries.items():
+            if (
+                skey == spec_key
+                and kbit == bit
+                and sig is not None
+                and sig[0] == group
+            ):
+                family.append((sig[1], entry))
+        return family
+
+    def checkpointer(
+        self, spec_key: _SpecKey, bit: Bit
+    ) -> MachineCheckpointer | None:
+        """The fault-free run's checkpointer for ``bit``, if recorded."""
+        return self._checkpointers.get((spec_key, bit))
+
+    def store_checkpointer(
+        self,
+        spec_key: _SpecKey,
+        bit: Bit,
+        checkpointer: MachineCheckpointer,
+    ) -> None:
+        """Record the fault-free checkpointer for later resume calls."""
+        self._checkpointers[(spec_key, bit)] = checkpointer
 
 
 @dataclass(frozen=True)
@@ -64,7 +171,11 @@ class AttackOutcome:
         bound: observed worst message count vs the ``t²/32`` floor.
         default_bit: the Lemma-3 common decision ``d`` (if reached).
         critical_round: the Lemma-4 round ``R`` (if reached).
-        log: the pipeline's step-by-step narrative.
+        log: the pipeline's step-by-step narrative (including the engine
+            round counters).
+        rounds_simulated: rounds the engine actually simulated.
+        rounds_baseline: rounds a reuse-free pipeline (one full-horizon
+            simulation per distinct configuration) would have simulated.
     """
 
     protocol: str
@@ -76,6 +187,8 @@ class AttackOutcome:
     default_bit: Payload | None = None
     critical_round: Round | None = None
     log: tuple[str, ...] = ()
+    rounds_simulated: int = 0
+    rounds_baseline: int = 0
 
     @property
     def found_violation(self) -> bool:
@@ -93,6 +206,11 @@ class AttackOutcome:
             lines.append(f"  default bit d = {self.default_bit!r}")
         if self.critical_round is not None:
             lines.append(f"  critical round R = {self.critical_round}")
+        if self.rounds_baseline:
+            lines.append(
+                f"  simulated {self.rounds_simulated} rounds "
+                f"(baseline {self.rounds_baseline})"
+            )
         if self.witness is not None:
             lines.append(f"  VIOLATION: {self.witness.summary()}")
         else:
@@ -117,14 +235,33 @@ class LowerBoundDriver:
         partition: the (A, B, C) split; defaults to
             :func:`~repro.lowerbound.partition.canonical_partition`.
         verify: re-verify any produced witness from scratch.
+        check: validate every simulated trace against the model
+            conditions (disable for speed once a protocol is trusted).
+        early_stop: halt decision-only simulations once *every* process
+            has decided.  Witnesses, merge inputs and the observed bound
+            always come from full-horizon traces (re-materialized on
+            demand), so outcomes are unchanged.
+        reuse: enable the execution cache's checkpoint-resume and
+            quiescent-aliasing reuses.  Disabling both ``early_stop``
+            and ``reuse`` replicates the simulate-everything pipeline.
+        cache: a shared :class:`ExecutionCache`; by default each driver
+            builds its own.
     """
 
     spec: ProtocolSpec
     partition: ABCPartition | None = None
     verify: bool = True
+    check: bool = True
+    early_stop: bool = True
+    reuse: bool = True
+    cache: ExecutionCache | None = None
     _log: list[str] = field(default_factory=list, repr=False)
     _max_messages: int = field(default=0, repr=False)
-    _cache: dict = field(default_factory=dict, repr=False)
+    _requested: set = field(default_factory=set, repr=False)
+    _rounds_simulated: int = field(default=0, repr=False)
+    _rounds_baseline: int = field(default=0, repr=False)
+    _prefix_rounds_skipped: int = field(default=0, repr=False)
+    _early_stops: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.partition is None:
@@ -134,6 +271,14 @@ class LowerBoundDriver:
             self.spec.t,
         ):
             raise ValueError("partition does not match the spec's (n, t)")
+        if self.cache is None:
+            self.cache = ExecutionCache()
+        self._spec_key: _SpecKey = (
+            self.spec.name,
+            self.spec.n,
+            self.spec.t,
+            self.spec.rounds,
+        )
 
     def attack(self) -> AttackOutcome:
         """Run the full pipeline; always returns (never raises _Found)."""
@@ -155,6 +300,15 @@ class LowerBoundDriver:
                 verify_witness(witness, self.spec.factory)
                 self._note("witness re-verified from scratch")
         assert self.partition is not None
+        assert self.cache is not None
+        self._note(
+            f"engine: simulated {self._rounds_simulated} rounds vs "
+            f"{self._rounds_baseline} baseline "
+            f"({self.cache.hits} cache hits, "
+            f"{self.cache.alias_hits} reuse hits, "
+            f"{self._prefix_rounds_skipped} prefix rounds skipped, "
+            f"{self._early_stops} early stops)"
+        )
         return AttackOutcome(
             protocol=self.spec.name,
             n=self.spec.n,
@@ -167,6 +321,8 @@ class LowerBoundDriver:
             default_bit=default_bit,
             critical_round=critical_round,
             log=tuple(self._log),
+            rounds_simulated=self._rounds_simulated,
+            rounds_baseline=self._rounds_baseline,
         )
 
     # ------------------------------------------------------------------
@@ -201,11 +357,16 @@ class LowerBoundDriver:
         for bit in (0, 1):
             for label in ("B", "C"):
                 execution = self._run(bit, group=label, from_round=1)
+                refetch = self._materializer(bit, label, 1)
                 decided = self._require_unanimous(
-                    execution, context=f"E_{bit}^{{{label}(1)}}"
+                    execution,
+                    context=f"E_{bit}^{{{label}(1)}}",
+                    refetch=refetch,
                 )
                 decisions[(bit, label)] = decided
-                self._lemma2_check(execution, label, 1, decided)
+                self._lemma2_check(
+                    execution, label, 1, decided, refetch=refetch
+                )
         return decisions
 
     def _lemma3_consistency(
@@ -232,8 +393,8 @@ class LowerBoundDriver:
                 if d_b == d_c:
                     continue
                 self._merge_and_extract(
-                    exec_b=self._run(bit_b, "B", 1),
-                    exec_c=self._run(bit_c, "C", 1),
+                    exec_b=self._run(bit_b, "B", 1, full=True),
+                    exec_c=self._run(bit_c, "C", 1, full=True),
                     round_b=1,
                     round_c=1,
                     expect_b=d_b,
@@ -248,10 +409,15 @@ class LowerBoundDriver:
         previous = default_bit
         for k in range(2, self.spec.rounds + 3):
             execution = self._run(family_bit, "B", k)
+            refetch = self._materializer(family_bit, "B", k)
             decided = self._require_unanimous(
-                execution, context=f"E_{family_bit}^{{B({k})}}"
+                execution,
+                context=f"E_{family_bit}^{{B({k})}}",
+                refetch=refetch,
             )
-            self._lemma2_check(execution, "B", k, decided)
+            self._lemma2_check(
+                execution, "B", k, decided, refetch=refetch
+            )
             if decided != previous:
                 critical = k - 1
                 self._note(
@@ -271,7 +437,7 @@ class LowerBoundDriver:
     ) -> None:
         """Stage 5 (Lemma 5 / Figure 2): merge B(R+1) with C(R)."""
         family_bit = 1 - int(default_bit)
-        exec_c = self._run(family_bit, "C", critical_round)
+        exec_c = self._run(family_bit, "C", critical_round, full=True)
         decided_c = self._require_unanimous(
             execution=exec_c,
             context=f"E_{family_bit}^{{C({critical_round})}}",
@@ -280,7 +446,9 @@ class LowerBoundDriver:
         if decided_c == default_bit:
             # The paper's main line: B at R+1 decides f, C at R decides d.
             self._merge_and_extract(
-                exec_b=self._run(family_bit, "B", critical_round + 1),
+                exec_b=self._run(
+                    family_bit, "B", critical_round + 1, full=True
+                ),
                 exec_c=exec_c,
                 round_b=critical_round + 1,
                 round_c=critical_round,
@@ -290,7 +458,9 @@ class LowerBoundDriver:
         else:
             # Lemma 3 already fails for the same-round pair (B(R), C(R)).
             self._merge_and_extract(
-                exec_b=self._run(family_bit, "B", critical_round),
+                exec_b=self._run(
+                    family_bit, "B", critical_round, full=True
+                ),
                 exec_c=exec_c,
                 round_b=critical_round,
                 round_c=critical_round,
@@ -345,6 +515,7 @@ class LowerBoundDriver:
         group_label: str,
         from_round: Round,
         correct_decision: Payload,
+        refetch: "Callable[[], Execution] | None" = None,
     ) -> None:
         """If the isolated group's majority strays, try the extraction."""
         group = self._group(group_label)
@@ -354,6 +525,8 @@ class LowerBoundDriver:
                 f"Lemma 2 premise violated: majority of {group_label} "
                 f"decided {majority!r} vs correct {correct_decision!r}"
             )
+            if refetch is not None and self._truncated(execution):
+                execution = refetch()
             self._lemma2_extract(
                 execution, group_label, from_round, correct_decision
             )
@@ -443,15 +616,25 @@ class LowerBoundDriver:
             )
 
     def _require_unanimous(
-        self, execution: Execution, context: str
+        self,
+        execution: Execution,
+        context: str,
+        refetch: "Callable[[], Execution] | None" = None,
     ) -> Payload:
-        """All correct processes decided one value — or a direct witness."""
+        """All correct processes decided one value — or a direct witness.
+
+        ``refetch`` re-materializes the full-horizon trace when the
+        checked execution was early-stopped and a witness must embed it
+        (decisions are write-once, so the decision data is unaffected).
+        """
         undecided = [
             pid
             for pid in sorted(execution.correct)
             if execution.decision(pid) is None
         ]
         if undecided:
+            if refetch is not None and self._truncated(execution):
+                execution = refetch()
             self._found(
                 ViolationWitness(
                     kind=ViolationKind.TERMINATION,
@@ -464,6 +647,8 @@ class LowerBoundDriver:
         for pid in sorted(execution.correct):
             by_value.setdefault(execution.decision(pid), pid)
         if len(by_value) > 1:
+            if refetch is not None and self._truncated(execution):
+                execution = refetch()
             values = sorted(by_value, key=repr)
             self._found(
                 ViolationWitness(
@@ -476,23 +661,204 @@ class LowerBoundDriver:
             )
         return next(iter(by_value))
 
+    def _truncated(self, execution: Execution) -> bool:
+        return execution.rounds < self.spec.rounds
+
+    def _materializer(
+        self, bit: Bit, group: str, from_round: Round
+    ) -> "Callable[[], Execution]":
+        """A thunk re-running the configuration at full horizon."""
+        return lambda: self._run(bit, group, from_round, full=True)
+
     def _run(
         self,
         bit: Bit,
         group: str | None,
         from_round: Round | None,
+        *,
+        full: bool = False,
     ) -> Execution:
-        """Run (and cache) ``E_bit`` or ``E_bit^{G(k)}``."""
-        key = (bit, group, from_round)
-        if key in self._cache:
-            return self._cache[key]
-        adversary = None
-        if group is not None:
-            assert from_round is not None
-            adversary = isolate_group(self._group(group), from_round)
-        execution = self.spec.run_uniform(bit, adversary)
-        self._observe(execution)
-        self._cache[key] = execution
+        """Run (and cache) ``E_bit`` or ``E_bit^{G(k)}``.
+
+        ``full`` demands a full-horizon trace (witness embedding, merge
+        input); otherwise a cached early-stopped trace is acceptable for
+        decision queries.  Both the quiescent-alias and checkpoint-resume
+        paths return executions bit-identical to a fresh simulation, so
+        callers never observe the difference.
+        """
+        assert self.cache is not None
+        horizon = self.spec.rounds
+        sig = (
+            None
+            if group is None
+            else (self._group(group), from_round)
+        )
+        # Baseline accounting: the reuse-free pipeline simulates each
+        # distinct configuration once, at full horizon.
+        if (bit, sig) not in self._requested:
+            self._requested.add((bit, sig))
+            self._rounds_baseline += horizon
+        key = (self._spec_key, bit, sig)
+        entry = self.cache.lookup(key)
+        if entry is not None and (entry.complete or not full):
+            self.cache.hits += 1
+            return entry.execution
+        if group is None:
+            return self._run_fault_free(bit, key)
+        assert from_round is not None
+        members = self._group(group)
+        if self.reuse:
+            reused = self._try_reuse(
+                key, bit, members, from_round, horizon
+            )
+            if reused is not None:
+                return reused
+        return self._simulate_isolation(
+            key, bit, members, from_round, horizon, full
+        )
+
+    def _run_fault_free(self, bit: Bit, key: tuple) -> Execution:
+        """Simulate a fault-free run, checkpointing it for later resumes.
+
+        Always full-horizon: fault-free traces anchor the observed bound
+        and the Weak Validity witnesses, and their checkpoints seed every
+        prefix resume.
+        """
+        assert self.cache is not None
+        streaming = StreamingComplexity()
+        observers: list[RoundObserver] = [streaming]
+        checkpointer: MachineCheckpointer | None = None
+        if self.reuse:
+            checkpointer = MachineCheckpointer()
+            observers.append(checkpointer)
+        execution = self.spec.run_uniform(
+            bit, None, check=self.check, observers=observers
+        )
+        self._rounds_simulated += execution.rounds
+        messages = streaming.correct_messages
+        self._observe_messages(messages)
+        self.cache.store(key, _CacheEntry(execution, messages, True))
+        self.cache.misses += 1
+        if checkpointer is not None and checkpointer.enabled:
+            self.cache.store_checkpointer(self._spec_key, bit, checkpointer)
+        return execution
+
+    def _try_reuse(
+        self,
+        key: tuple,
+        bit: Bit,
+        members: frozenset[ProcessId],
+        from_round: Round,
+        horizon: int,
+    ) -> Execution | None:
+        """The semantic reuses: beyond-horizon identity and aliasing."""
+        assert self.cache is not None
+        if from_round > horizon:
+            # The isolation never acts within the horizon: the trace is
+            # the fault-free one with the faulty set rewritten to the
+            # (fault-committing-nothing) isolated group.
+            base = self._run(bit, None, None)
+            execution = Execution(
+                n=self.spec.n,
+                t=self.spec.t,
+                faulty=members,
+                behaviors=base.behaviors,
+            )
+            entry = _CacheEntry(
+                execution, execution.message_complexity(), True
+            )
+            self.cache.store(key, entry)
+            self.cache.alias_hits += 1
+            self._observe_messages(entry.messages)
+            return execution
+        family = self.cache.isolation_family(self._spec_key, bit, members)
+        for k_prime, sibling in sorted(family, reverse=True):
+            if k_prime == from_round or not sibling.complete:
+                continue
+            lo, hi = sorted((k_prime, from_round))
+            if quiescent_toward(sibling.execution, members, lo, hi):
+                self.cache.store(key, sibling)
+                self.cache.alias_hits += 1
+                self._observe_messages(sibling.messages)
+                return sibling.execution
+        return None
+
+    def _simulate_isolation(
+        self,
+        key: tuple,
+        bit: Bit,
+        members: frozenset[ProcessId],
+        from_round: Round,
+        horizon: int,
+        full: bool,
+    ) -> Execution:
+        """Actually simulate ``E_bit^{G(from_round)}``.
+
+        Resumes from the fault-free checkpoint at ``from_round`` when
+        available (the isolated run is identical to the fault-free one
+        before its isolation round); falls back to a from-scratch run,
+        early-stopped when only decisions are needed.
+        """
+        assert self.cache is not None
+        adversary = isolate_group(members, from_round)
+        checkpointer = (
+            self.cache.checkpointer(self._spec_key, bit)
+            if self.reuse
+            else None
+        )
+        if (
+            checkpointer is not None
+            and checkpointer.enabled
+            and from_round >= 2
+            and checkpointer.has_checkpoint(from_round)
+        ):
+            base = self._run(bit, None, None)
+            config = SimulationConfig(
+                n=self.spec.n,
+                t=self.spec.t,
+                rounds=horizon,
+                check=self.check,
+            )
+            prefix = [
+                [
+                    base.behavior(pid).fragment(round_)
+                    for round_ in range(1, from_round)
+                ]
+                for pid in range(self.spec.n)
+            ]
+            execution = resume_execution(
+                config,
+                checkpointer.checkpoint(from_round),
+                adversary,
+                prefix,
+                from_round,
+            )
+            self._rounds_simulated += horizon - from_round + 1
+            self._prefix_rounds_skipped += from_round - 1
+            messages = execution.message_complexity()
+            self._observe_messages(messages)
+            self.cache.store(key, _CacheEntry(execution, messages, True))
+            self.cache.misses += 1
+            return execution
+        streaming = StreamingComplexity()
+        observers: list[RoundObserver] = [streaming]
+        if self.early_stop and not full:
+            observers.append(EarlyStopPolicy(scope="all"))
+        execution = self.spec.run_uniform(
+            bit, adversary, check=self.check, observers=observers
+        )
+        self._rounds_simulated += execution.rounds
+        complete = execution.rounds == horizon
+        if not complete:
+            self._early_stops += 1
+        messages = streaming.correct_messages
+        if complete:
+            # Truncated traces undercount §2 complexity (protocols may
+            # keep sending after deciding), so only full runs feed the
+            # observed bound.
+            self._observe_messages(messages)
+        self.cache.store(key, _CacheEntry(execution, messages, complete))
+        self.cache.misses += 1
         return execution
 
     def _group(self, label: str) -> frozenset[ProcessId]:
@@ -504,9 +870,10 @@ class LowerBoundDriver:
         raise ReproError(f"unknown group label {label!r}")
 
     def _observe(self, execution: Execution) -> None:
-        self._max_messages = max(
-            self._max_messages, execution.message_complexity()
-        )
+        self._observe_messages(execution.message_complexity())
+
+    def _observe_messages(self, messages: int) -> None:
+        self._max_messages = max(self._max_messages, messages)
 
     def _note(self, message: str) -> None:
         self._log.append(message)
@@ -522,6 +889,10 @@ def attack_weak_consensus(
     *,
     verify: bool = True,
     minimize: bool = False,
+    check: bool = True,
+    early_stop: bool = True,
+    reuse: bool = True,
+    cache: ExecutionCache | None = None,
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
 
@@ -530,9 +901,22 @@ def attack_weak_consensus(
         verify: re-verify any witness from scratch before returning.
         minimize: additionally truncate the witness execution to its
             shortest still-verifying prefix (agreement witnesses only).
+        check: validate simulated traces against the model conditions.
+        early_stop: halt decision-only simulations at the decision round.
+        reuse: enable checkpoint-resume and quiescent-alias execution
+            reuse (``early_stop=False, reuse=False`` reproduces the
+            simulate-everything pipeline round for round).
+        cache: a shared :class:`ExecutionCache` for attacking the same
+            protocol repeatedly (e.g. across partitions).
     """
     driver = LowerBoundDriver(
-        spec=spec, partition=partition, verify=verify
+        spec=spec,
+        partition=partition,
+        verify=verify,
+        check=check,
+        early_stop=early_stop,
+        reuse=reuse,
+        cache=cache,
     )
     outcome = driver.attack()
     if minimize and outcome.witness is not None:

@@ -25,6 +25,7 @@ from repro.omission.isolation import (
     check_isolated,
     is_isolated,
     isolate_group,
+    quiescent_toward,
 )
 from repro.omission.merge import (
     MergeSpec,
@@ -61,6 +62,7 @@ __all__ = [
     "is_mergeable",
     "isolate_group",
     "merge",
+    "quiescent_toward",
     "swap_omission",
     "swap_omission_checked",
     "uniform_proposal",

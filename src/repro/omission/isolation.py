@@ -140,6 +140,37 @@ def check_isolated(
                     )
 
 
+def quiescent_toward(
+    execution: Execution,
+    group: Iterable[ProcessId],
+    lo: Round,
+    hi: Round,
+) -> bool:
+    """No message from outside ``group`` targets ``group`` in rounds [lo, hi).
+
+    This is the reuse condition behind the driver's execution cache: if
+    ``execution`` is ``E_b^{G(lo)}`` (the group isolated from round
+    ``lo``) and no outside message is addressed to the group in rounds
+    ``lo .. hi-1``, then ``E_b^{G(hi)}`` *is* the same execution.  The
+    inductive argument: both evolve identically before round ``lo``;
+    within ``[lo, hi)`` the isolation drops nothing (there is nothing to
+    drop), so every process's state matches the later-isolation run; and
+    from round ``hi`` on both drop exactly the outside→group messages.
+    Deterministic machines make the equality literal, fragment for
+    fragment, so one simulation can serve the whole quiescent span of a
+    critical-round scan (§3, Lemma 4).
+    """
+    members = frozenset(group)
+    for pid in sorted(members):
+        behavior = execution.behavior(pid)
+        for round_ in range(lo, min(hi, behavior.rounds + 1)):
+            fragment = behavior.fragment(round_)
+            for message in fragment.received | fragment.receive_omitted:
+                if message.sender not in members:
+                    return False
+    return True
+
+
 def is_isolated(
     execution: Execution,
     group: Iterable[ProcessId],

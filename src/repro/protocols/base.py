@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.sim.adversary import Adversary
+from repro.sim.engine import RoundObserver
 from repro.sim.execution import Execution
 from repro.sim.process import Process, ProcessFactory
 from repro.sim.simulator import SimulationConfig, run_execution
@@ -60,6 +61,8 @@ class ProtocolSpec:
         *,
         rounds: int | None = None,
         check: bool = True,
+        observers: Sequence[RoundObserver] = (),
+        early_stop: bool = False,
     ) -> Execution:
         """Simulate one execution of this protocol.
 
@@ -68,6 +71,11 @@ class ProtocolSpec:
             adversary: static adversary (``None``: no faults).
             rounds: horizon override (defaults to the spec's sound bound).
             check: run the model validity checker on the trace.
+            observers: extra engine observers (e.g. a
+                :class:`~repro.sim.metrics.StreamingComplexity`).
+            early_stop: halt once all correct processes decided; the
+                truncated trace is a prefix of the full run with the same
+                decisions.
         """
         config = SimulationConfig(
             n=self.n,
@@ -75,7 +83,14 @@ class ProtocolSpec:
             rounds=self.rounds if rounds is None else rounds,
             check=check,
         )
-        return run_execution(config, proposals, self.factory, adversary)
+        return run_execution(
+            config,
+            proposals,
+            self.factory,
+            adversary,
+            observers=observers,
+            early_stop=early_stop,
+        )
 
     def run_uniform(
         self,
@@ -84,6 +99,8 @@ class ProtocolSpec:
         *,
         rounds: int | None = None,
         check: bool = True,
+        observers: Sequence[RoundObserver] = (),
+        early_stop: bool = False,
     ) -> Execution:
         """Simulate with every process proposing ``proposal``."""
         return self.run(
@@ -91,6 +108,8 @@ class ProtocolSpec:
             adversary,
             rounds=rounds,
             check=check,
+            observers=observers,
+            early_stop=early_stop,
         )
 
     def renamed(self, name: str) -> "ProtocolSpec":

@@ -10,8 +10,14 @@ Public surface:
   validity conditions (A.1.6).
 * :class:`~repro.sim.process.Process` — deterministic state machines.
 * :class:`~repro.sim.adversary.Adversary` and friends — static adversaries.
-* :func:`~repro.sim.simulator.run_execution` — the round loop.
-* :class:`~repro.sim.metrics.ComplexityReport` — message accounting (§2).
+* :class:`~repro.sim.engine.RoundEngine` and its
+  :class:`~repro.sim.engine.RoundObserver`\\ s — the event-driven round
+  loop and its pluggable per-round consumers.
+* :func:`~repro.sim.simulator.run_execution` — the standard entry point
+  (engine + trace recorder + incremental checker).
+* :class:`~repro.sim.metrics.ComplexityReport` /
+  :class:`~repro.sim.metrics.StreamingComplexity` — message accounting
+  (§2), post-hoc and streaming.
 """
 
 from repro.sim.adversary import (
@@ -26,6 +32,15 @@ from repro.sim.adversary import (
     SilenceAdversary,
     compose_omissions,
 )
+from repro.sim.engine import (
+    EarlyStopPolicy,
+    IncrementalChecker,
+    MachineCheckpointer,
+    RoundEngine,
+    RoundEvent,
+    RoundObserver,
+    TraceRecorder,
+)
 from repro.sim.execution import (
     Execution,
     ExecutionSummary,
@@ -38,6 +53,7 @@ from repro.sim.execution import (
 from repro.sim.message import Message, broadcast_payload
 from repro.sim.metrics import (
     ComplexityReport,
+    StreamingComplexity,
     count_signatures,
     dolev_reischuk_floor,
     dolev_reischuk_signature_floor,
@@ -64,6 +80,7 @@ from repro.sim.simulator import (
     SimulationConfig,
     all_correct_decided,
     decisions_by_value,
+    resume_execution,
     run_execution,
     run_with_uniform_proposal,
 )
@@ -86,19 +103,27 @@ __all__ = [
     "ChattiestTargetAdversary",
     "ComplexityReport",
     "CrashAdversary",
+    "EarlyStopPolicy",
     "Execution",
     "ExecutionSummary",
     "Fragment",
+    "IncrementalChecker",
+    "MachineCheckpointer",
     "Message",
     "NoFaults",
     "OmissionSchedule",
     "Process",
     "ProcessFactory",
     "ReplayProcess",
+    "RoundEngine",
+    "RoundEvent",
+    "RoundObserver",
     "ScheduledOmissionAdversary",
     "SilenceAdversary",
     "SimulationConfig",
     "StateSnapshot",
+    "StreamingComplexity",
+    "TraceRecorder",
     "all_correct_decided",
     "behavior_from_fragments",
     "behaviors_indistinguishable",
@@ -126,6 +151,7 @@ __all__ = [
     "majority_decision",
     "meets_lower_bound",
     "quadratic_ratio",
+    "resume_execution",
     "run_execution",
     "run_with_uniform_proposal",
     "unanimous_decision",

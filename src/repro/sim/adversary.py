@@ -98,6 +98,11 @@ class Adversary:
     ) -> None:
         """Hook called after each round with the round's sent messages.
 
+        ``sent`` is one flat frozenset of every message successfully sent
+        this round — the engine builds it once during the send phase (it
+        is the same set a :class:`~repro.sim.engine.RoundEvent` carries
+        as ``all_sent``), not a per-sender union recomputed here.
+
         Gives adaptive adversaries the global traffic view.  Note the
         ordering: omission decisions for round ``k`` are made *before*
         ``observe_round(k, ...)`` fires, i.e. this models a non-rushing

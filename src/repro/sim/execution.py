@@ -122,6 +122,12 @@ class Execution:
 def check_execution(execution: Execution) -> None:
     """Check all five execution guarantees of A.1.6.
 
+    This is the post-hoc checker for *recorded* traces (and for the
+    surgery products of :mod:`repro.omission` — swapped and merged
+    executions).  Live engine runs enforce the same conditions round by
+    round via :class:`~repro.sim.engine.IncrementalChecker`, which fails
+    at the first offending round instead of after the horizon.
+
     Raises:
         ModelViolation: naming the first violated guarantee.
     """

@@ -4,7 +4,9 @@ The paper's metric is the number of messages sent by correct processes over
 the whole execution — including messages sent after all correct processes
 have decided.  :class:`ComplexityReport` computes that count plus auxiliary
 views (per-round, per-sender, payload-size totals) used by the benchmark
-harness.
+harness.  :class:`StreamingComplexity` produces the same report
+incrementally as a :class:`~repro.sim.engine.RoundObserver`, so live
+engine runs need no second pass over the recorded trace.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.sim.engine import RoundEvent, RoundObserver
 from repro.sim.execution import Execution
 from repro.sim.message import payload_size
 from repro.types import ProcessId, Round
@@ -66,6 +69,79 @@ class ComplexityReport:
                     for message in round_sent
                 )
         return cls(
+            correct_messages=correct_messages,
+            total_messages=total_messages,
+            per_round=per_round,
+            per_sender=per_sender,
+            payload_units=payload_units,
+        )
+
+
+class StreamingComplexity(RoundObserver):
+    """Incremental message-complexity accounting for live engine runs.
+
+    Tracks per-sender-per-round sent counts and payload sizes for *all*
+    processes while the run unfolds, then filters by the adversary's
+    final corruption set when the report is assembled — necessary
+    because an adaptive adversary may corrupt a process *after* it has
+    sent (§2 charges only processes outside the final faulty set ``F``).
+    The produced report equals ``ComplexityReport.of`` on the recorded
+    trace (asserted by the test-suite) without re-walking it.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[ProcessId, dict[Round, int]] = {}
+        self._payload: dict[ProcessId, int] = {}
+        self._corrupted: frozenset[ProcessId] = frozenset()
+        self._n = 0
+
+    def on_run_start(self, config, machines, adversary) -> None:
+        self._n = config.n
+        self._counts = {pid: {} for pid in range(config.n)}
+        self._payload = {pid: 0 for pid in range(config.n)}
+        self._corrupted = adversary.corrupted
+
+    def on_round(self, event: RoundEvent) -> None:
+        for pid, fragment in enumerate(event.fragments):
+            if fragment.sent:
+                self._counts[pid][event.round] = len(fragment.sent)
+                self._payload[pid] += sum(
+                    payload_size(message.payload)
+                    for message in fragment.sent
+                )
+        self._corrupted = event.corrupted
+
+    def on_run_end(self, final_states, corrupted) -> None:
+        self._corrupted = corrupted
+
+    @property
+    def correct_messages(self) -> int:
+        """The paper's metric so far: messages sent by correct processes."""
+        return sum(
+            count
+            for pid, rounds in self._counts.items()
+            if pid not in self._corrupted
+            for count in rounds.values()
+        )
+
+    def report(self) -> ComplexityReport:
+        """Assemble the :class:`ComplexityReport` of the observed run."""
+        per_round: dict[Round, int] = {}
+        per_sender: dict[ProcessId, int] = {}
+        payload_units = 0
+        correct_messages = 0
+        total_messages = 0
+        for pid in range(self._n):
+            sent_count = sum(self._counts[pid].values())
+            total_messages += sent_count
+            if pid in self._corrupted:
+                continue
+            correct_messages += sent_count
+            per_sender[pid] = sent_count
+            payload_units += self._payload[pid]
+            for round_, count in self._counts[pid].items():
+                per_round[round_] = per_round.get(round_, 0) + count
+        return ComplexityReport(
             correct_messages=correct_messages,
             total_messages=total_messages,
             per_round=per_round,

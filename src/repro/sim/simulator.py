@@ -7,6 +7,14 @@ messages sent to it in that round.  The simulator drives deterministic
 :class:`~repro.sim.adversary.Adversary` and records a full
 :class:`~repro.sim.execution.Execution` trace in the Appendix-A formalism.
 
+The round loop itself lives in :class:`~repro.sim.engine.RoundEngine`;
+this module wires the engine to the standard observers — a
+:class:`~repro.sim.engine.TraceRecorder` for the execution record, an
+:class:`~repro.sim.engine.IncrementalChecker` when validation is on, and
+an :class:`~repro.sim.engine.EarlyStopPolicy` when the caller allows
+halting at the decision round — and keeps the historical entry points
+(:func:`run_execution` and friends) stable.
+
 Infinite executions are approximated by a finite horizon chosen by the
 caller; every protocol in :mod:`repro.protocols` declares a sound
 ``max_rounds(n, t)`` bound, so "ran for the horizon without deciding"
@@ -20,10 +28,16 @@ from typing import Sequence
 
 from repro.errors import ProtocolViolation
 from repro.sim.adversary import Adversary, NoFaults
+from repro.sim.engine import (
+    EarlyStopPolicy,
+    IncrementalChecker,
+    RoundEngine,
+    RoundObserver,
+    TraceRecorder,
+)
 from repro.sim.execution import Execution, check_execution
-from repro.sim.message import Message
 from repro.sim.process import Process, ProcessFactory
-from repro.sim.state import Behavior, Fragment
+from repro.sim.state import Fragment
 from repro.types import Payload, ProcessId, Round, validate_system_size
 
 
@@ -35,8 +49,10 @@ class SimulationConfig:
         n: number of processes.
         t: corruption budget (the adversary may corrupt at most ``t``).
         rounds: the finite horizon to simulate.
-        check: whether to run the full Appendix-A validity checker on the
-            produced execution (cheap insurance; on by default).
+        check: whether to validate the produced execution against the
+            Appendix-A model conditions (cheap insurance; on by default).
+            Live runs validate round-by-round via
+            :class:`~repro.sim.engine.IncrementalChecker`.
     """
 
     n: int
@@ -88,6 +104,9 @@ def run_execution(
     proposals: Sequence[Payload],
     factory: ProcessFactory,
     adversary: Adversary | None = None,
+    *,
+    observers: Sequence[RoundObserver] = (),
+    early_stop: bool = False,
 ) -> Execution:
     """Simulate one execution and return its full trace.
 
@@ -98,6 +117,13 @@ def run_execution(
             may ignore them.)
         factory: builds the honest machine for a ``(pid, proposal)`` pair.
         adversary: the static adversary; ``None`` means no faults.
+        observers: extra :class:`RoundObserver` instances attached to the
+            engine (e.g. a
+            :class:`~repro.sim.metrics.StreamingComplexity` accountant).
+        early_stop: halt once every correct process has decided instead of
+            running to the horizon.  The truncated execution is a prefix
+            of the full run with identical decisions; message complexity
+            may differ for protocols that keep sending after deciding.
 
     Returns:
         The recorded :class:`Execution`, validated against the model's
@@ -105,103 +131,58 @@ def run_execution(
     """
     adversary = adversary if adversary is not None else NoFaults()
     machines = build_machines(config, proposals, factory, adversary)
-    recorder = _Recorder(config, machines, adversary)
-    for round_ in range(1, config.rounds + 1):
-        recorder.step(round_)
-    return recorder.finish()
+    recorder = TraceRecorder()
+    attached: list[RoundObserver] = [recorder]
+    if config.check:
+        attached.append(IncrementalChecker())
+    if early_stop:
+        attached.append(EarlyStopPolicy(scope="correct"))
+    attached.extend(observers)
+    engine = RoundEngine(config, machines, adversary, attached)
+    engine.run()
+    return recorder.execution()
 
 
-class _Recorder:
-    """Internal: drives machines one round at a time and records fragments."""
+def resume_execution(
+    config: SimulationConfig,
+    machines: Sequence[Process],
+    adversary: Adversary,
+    prefix: Sequence[Sequence[Fragment]],
+    start_round: Round,
+    *,
+    observers: Sequence[RoundObserver] = (),
+) -> Execution:
+    """Continue a partially simulated execution from ``start_round``.
 
-    def __init__(
-        self,
-        config: SimulationConfig,
-        machines: Sequence[Process],
-        adversary: Adversary,
-    ) -> None:
-        self._config = config
-        self._machines = machines
-        self._adversary = adversary
-        self._fragments: list[list[Fragment]] = [
-            [] for _ in range(config.n)
-        ]
+    The caller supplies machines already in their start-of-``start_round``
+    states (e.g. from a
+    :class:`~repro.sim.engine.MachineCheckpointer` snapshot) together
+    with the per-process fragments of rounds ``1 .. start_round - 1``.
+    Rounds ``start_round .. config.rounds`` are simulated under
+    ``adversary`` and the two parts are stitched into one full-horizon
+    execution — bit-for-bit what a from-scratch simulation under an
+    adversary that acts identically would record, because the machines
+    are deterministic.
 
-    def step(self, round_: Round) -> None:
-        """Simulate round ``round_``: states, sends, omissions, delivery."""
-        self._adversary.begin_round(round_)
-        corrupted = self._adversary.corrupted
-        states = [
-            machine.snapshot(round_) for machine in self._machines
-        ]
-        sent: list[set[Message]] = [set() for _ in self._machines]
-        send_omitted: list[set[Message]] = [set() for _ in self._machines]
-        inboxes: list[list[Message]] = [[] for _ in self._machines]
-        for pid, machine in enumerate(self._machines):
-            mapping = machine.validate_outgoing(
-                round_, machine.outgoing(round_)
-            )
-            for receiver, payload in mapping.items():
-                message = Message(pid, receiver, round_, payload)
-                if pid in corrupted and self._adversary.send_omits(message):
-                    send_omitted[pid].add(message)
-                else:
-                    sent[pid].add(message)
-                    inboxes[receiver].append(message)
-        for pid, machine in enumerate(self._machines):
-            received: set[Message] = set()
-            receive_omitted: set[Message] = set()
-            for message in inboxes[pid]:
-                if pid in corrupted and self._adversary.receive_omits(
-                    message
-                ):
-                    receive_omitted.add(message)
-                else:
-                    received.add(message)
-            self._fragments[pid].append(
-                Fragment(
-                    state=states[pid],
-                    sent=frozenset(sent[pid]),
-                    send_omitted=frozenset(send_omitted[pid]),
-                    received=frozenset(received),
-                    receive_omitted=frozenset(receive_omitted),
-                )
-            )
-            machine.deliver(
-                round_,
-                {
-                    message.sender: message.payload
-                    for message in sorted(
-                        received, key=lambda m: m.sender
-                    )
-                },
-            )
-        self._adversary.observe_round(
-            round_,
-            frozenset().union(*(frozenset(s) for s in sent))
-            if sent
-            else frozenset(),
-        )
-
-    def finish(self) -> Execution:
-        """Assemble the execution record after the final round."""
-        final_round = self._config.rounds + 1
-        behaviors = tuple(
-            Behavior(
-                tuple(self._fragments[pid]),
-                final_state=self._machines[pid].snapshot(final_round),
-            )
-            for pid in range(self._config.n)
-        )
-        execution = Execution(
-            n=self._config.n,
-            t=self._config.t,
-            faulty=self._adversary.corrupted,
-            behaviors=behaviors,
-        )
-        if self._config.check:
-            check_execution(execution)
-        return execution
+    Only valid for *static* adversaries: the engine does not replay the
+    ``begin_round`` / ``observe_round`` hooks of the skipped prefix
+    rounds.  Validation, when ``config.check`` is set, runs post-hoc on
+    the stitched execution (the incremental checker cannot audit rounds
+    it never saw).
+    """
+    recorder = TraceRecorder(prefix=prefix)
+    engine = RoundEngine(
+        config,
+        machines,
+        adversary,
+        [recorder, *observers],
+        first_round=start_round,
+    )
+    engine.run()
+    execution = recorder.execution()
+    if config.check:
+        check_execution(execution)
+    return execution
 
 
 def all_correct_decided(execution: Execution) -> bool:
@@ -216,6 +197,9 @@ def run_with_uniform_proposal(
     proposal: Payload,
     factory: ProcessFactory,
     adversary: Adversary | None = None,
+    *,
+    observers: Sequence[RoundObserver] = (),
+    early_stop: bool = False,
 ) -> Execution:
     """Shorthand: all processes propose the same value.
 
@@ -223,7 +207,12 @@ def run_with_uniform_proposal(
     all-propose-1 executions; this keeps call sites readable.
     """
     return run_execution(
-        config, [proposal] * config.n, factory, adversary
+        config,
+        [proposal] * config.n,
+        factory,
+        adversary,
+        observers=observers,
+        early_stop=early_stop,
     )
 
 

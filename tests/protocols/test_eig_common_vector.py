@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.protocols.byzantine_strategies import garbage, mute, two_faced
 from repro.protocols.eig import EIGProcess, eig_consensus_spec
 from repro.sim.adversary import ByzantineAdversary
+from repro.sim.engine import RoundEngine, TraceRecorder
 from repro.sim.simulator import SimulationConfig, build_machines
 from repro.sim.adversary import NoFaults
 
@@ -24,12 +25,12 @@ def run_and_collect_vectors(n, t, proposals, adversary):
     machines = build_machines(
         config, proposals, spec.factory, adversary or NoFaults()
     )
-    from repro.sim.simulator import _Recorder
-
-    recorder = _Recorder(config, machines, adversary or NoFaults())
-    for round_ in range(1, config.rounds + 1):
-        recorder.step(round_)
-    execution = recorder.finish()
+    recorder = TraceRecorder()
+    engine = RoundEngine(
+        config, machines, adversary or NoFaults(), [recorder]
+    )
+    engine.run()
+    execution = recorder.execution()
     vectors = {
         pid: tuple(machines[pid].resolved_vector())
         for pid in execution.correct

@@ -1,10 +1,23 @@
 """Tests for repro.sim.metrics."""
 
+import pytest
+
+from repro.omission.isolation import isolate_group
+from repro.protocols.byzantine_strategies import garbage, mute
+from repro.protocols.phase_king import phase_king_spec
 from repro.protocols.subquadratic import leader_echo_spec
 from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
-from repro.sim.adversary import SilenceAdversary
+from repro.sim.adversary import (
+    ByzantineAdversary,
+    ChattiestTargetAdversary,
+    CrashAdversary,
+    OmissionSchedule,
+    ScheduledOmissionAdversary,
+    SilenceAdversary,
+)
 from repro.sim.metrics import (
     ComplexityReport,
+    StreamingComplexity,
     dolev_reischuk_floor,
     meets_lower_bound,
     quadratic_ratio,
@@ -43,6 +56,117 @@ class TestComplexityReport:
         spec = broadcast_weak_consensus_spec(4, 1)
         execution = spec.run_uniform(0)
         assert ComplexityReport.of(execution).payload_units > 0
+
+
+class TestOmissionBreakdowns:
+    """per_round / per_sender in the presence of omission faults."""
+
+    def test_send_omissions_uncount_the_dropped_message(self):
+        spec = leader_echo_spec(5, 2)
+        adversary = ScheduledOmissionAdversary(
+            {1, 2},
+            OmissionSchedule(
+                send_drops=lambda m: (m.sender, m.receiver, m.round)
+                == (1, 0, 1),
+                receive_drops=lambda m: False,
+            ),
+        )
+        execution = spec.run_uniform(0, adversary)
+        report = ComplexityReport.of(execution)
+        # p1's round-1 report was send-omitted: gone from the totals.
+        assert report.total_messages == 7
+        # Correct senders: p3, p4 report in round 1; leader p0 sends 4
+        # verdicts in round 2 (p1, p2 are faulty and never counted).
+        assert report.correct_messages == 6
+        assert report.per_round == {1: 2, 2: 4}
+        assert report.per_sender == {0: 4, 3: 1, 4: 1}
+
+    def test_receive_omissions_leave_sender_counts_intact(self):
+        """A correct sender's message charged even when the (faulty)
+        receiver omits it — §2 counts *sent* messages."""
+        spec = broadcast_weak_consensus_spec(5, 2)
+        fault_free = ComplexityReport.of(spec.run_uniform(1))
+        execution = spec.run_uniform(1, isolate_group({3, 4}, 1))
+        report = ComplexityReport.of(execution)
+        omitted = [
+            message
+            for pid in (3, 4)
+            for message in execution.behavior(pid).all_receive_omitted()
+        ]
+        assert omitted, "isolation must actually drop messages"
+        for pid in (0, 1, 2):
+            assert report.per_sender[pid] == fault_free.per_sender[pid]
+
+    def test_mixed_omissions_breakdowns_are_consistent(self):
+        spec = phase_king_spec(5, 1)
+        adversary = ScheduledOmissionAdversary(
+            {2},
+            OmissionSchedule(
+                send_drops=lambda m: m.round == 2,
+                receive_drops=lambda m: m.round >= 4,
+            ),
+        )
+        execution = spec.run_uniform(0, adversary)
+        report = ComplexityReport.of(execution)
+        assert report.correct_messages == sum(
+            report.per_sender.values()
+        )
+        assert report.correct_messages == sum(
+            report.per_round.values()
+        )
+        assert report.total_messages >= report.correct_messages
+        assert 2 not in report.per_sender
+
+
+class TestStreamingComplexity:
+    SCENARIOS = {
+        "no-fault": lambda spec: None,
+        "silence": lambda spec: SilenceAdversary({1}),
+        "scheduled": lambda spec: ScheduledOmissionAdversary(
+            {1, 2},
+            OmissionSchedule(
+                send_drops=lambda m: m.round == 1 and m.sender == 1,
+                receive_drops=lambda m: m.round == 2,
+            ),
+        ),
+        "crash": lambda spec: CrashAdversary({2: 2}),
+        "isolation": lambda spec: isolate_group({3, 4}, 2),
+        "byzantine": lambda spec: ByzantineAdversary(
+            {1, 4}, {1: mute(), 4: garbage()}
+        ),
+        "adaptive": lambda spec: ChattiestTargetAdversary(2),
+    }
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_streaming_equals_post_hoc_walk(self, name):
+        spec = broadcast_weak_consensus_spec(5, 2)
+        streaming = StreamingComplexity()
+        execution = spec.run_uniform(
+            1, self.SCENARIOS[name](spec), observers=[streaming]
+        )
+        assert streaming.report() == ComplexityReport.of(execution)
+        assert (
+            streaming.correct_messages
+            == execution.message_complexity()
+        )
+
+    def test_streaming_on_phase_king(self):
+        spec = phase_king_spec(7, 2)
+        streaming = StreamingComplexity()
+        execution = spec.run_uniform(0, observers=[streaming])
+        assert streaming.report() == ComplexityReport.of(execution)
+
+    def test_adaptive_corruption_discounts_retroactively(self):
+        """A process corrupted mid-run must not be charged at all —
+        the §2 metric filters by the *final* faulty set."""
+        spec = broadcast_weak_consensus_spec(5, 2)
+        adversary = ChattiestTargetAdversary(2)
+        streaming = StreamingComplexity()
+        execution = spec.run_uniform(1, adversary, observers=[streaming])
+        assert adversary.corrupted, "adaptive adversary must corrupt"
+        report = streaming.report()
+        for pid in adversary.corrupted:
+            assert pid not in report.per_sender
 
 
 class TestFloors:
