@@ -4,11 +4,14 @@ The benchmark kernel is the full attack pipeline; each outcome carries a
 from-scratch-verified violation witness.
 """
 
-import pytest
-from conftest import write_report
+import os
 
-from repro.experiments import run_e3
+import pytest
+from conftest import write_json_report, write_report
+
+from repro.experiments import CHEATERS, run_e3
 from repro.lowerbound.driver import attack_weak_consensus
+from repro.parallel import AttackJob, SweepScheduler
 from repro.protocols.subquadratic import (
     committee_cheater_spec,
     leader_echo_spec,
@@ -38,3 +41,52 @@ def bench_e3_single_attack(benchmark, builder):
     spec = builder(16, 8)
     outcome = benchmark(attack_weak_consensus, spec)
     assert outcome.found_violation
+
+
+def _scaling_matrix(ts=(8, 16)):
+    """The E3 cheater matrix as scheduler jobs (name-keyed, picklable)."""
+    return [
+        AttackJob(builder=name, n=t + 4, t=t)
+        for name in CHEATERS
+        for t in ts
+    ]
+
+
+def bench_e3_parallel_scaling(report_dir):
+    """Sweep wall time vs worker count on the E3 cheater matrix.
+
+    Not a pytest-benchmark kernel: one timed sweep per worker count is
+    the measurement itself (SweepReport already records wall time and
+    per-cell timings).  Asserts cross-backend bit-identity, then writes
+    the scaling curve as JSON for EXPERIMENTS.md.
+    """
+    matrix = _scaling_matrix()
+    runs = {}
+    serial_values = None
+    for jobs in (1, 2, 4, 8):
+        report = SweepScheduler(jobs=jobs).run(matrix)
+        report.raise_errors()
+        if serial_values is None:
+            serial_values = report.values()
+        else:
+            # The fan-out must not change a single verdict or witness.
+            assert report.values() == serial_values
+        runs[jobs] = report
+    baseline = runs[1].wall_seconds
+    payload = {
+        "matrix": [list(job.key) for job in matrix],
+        "cpu_count": os.cpu_count(),
+        "baseline_wall_seconds": baseline,
+        "runs": {
+            str(jobs): {
+                **report.to_payload(),
+                "speedup_vs_serial": (
+                    baseline / report.wall_seconds
+                    if report.wall_seconds
+                    else 0.0
+                ),
+            }
+            for jobs, report in runs.items()
+        },
+    }
+    write_json_report(report_dir, "e3_parallel_scaling", payload)

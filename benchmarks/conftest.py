@@ -26,3 +26,14 @@ def report_dir() -> pathlib.Path:
 def write_report(directory: pathlib.Path, name: str, text: str) -> None:
     """Persist one experiment's rendered report."""
     (directory / f"{name}.txt").write_text(text + "\n")
+
+
+def write_json_report(
+    directory: pathlib.Path, name: str, payload: object
+) -> None:
+    """Persist one machine-readable report (scaling curves etc.)."""
+    import json
+
+    (directory / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -70,7 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
         subparsers.add_parser(
             experiment_id, help=f"run experiment {experiment_id.upper()}"
         )
-    subparsers.add_parser("all", help="run every experiment")
+    all_parser = subparsers.add_parser(
+        "all", help="run every experiment"
+    )
+    all_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for sweep-shaped experiments (default: "
+            "serial, bit-identical to --jobs 1)"
+        ),
+    )
 
     attack = subparsers.add_parser(
         "attack", help="run the lower-bound attack on a protocol"
@@ -104,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="halt decision-only simulations at the decision round",
+    )
+    attack.add_argument(
+        "--profile",
+        action="store_true",
+        help="print wall-clock phase and per-round timings",
     )
 
     verify = subparsers.add_parser(
@@ -147,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(shows the quadratic exponent)"
         ),
     )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep matrix (default: serial, "
+            "bit-identical to --jobs 1)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="also print the per-cell wall-time/accounting table",
+    )
     return parser
 
 
@@ -168,14 +198,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(ALL_EXPERIMENTS[args.command]().report)
         return 0
     if args.command == "all":
+        import inspect
+
         for experiment_id, runner in ALL_EXPERIMENTS.items():
-            print(runner().report)
+            # Sweep-shaped experiments accept a worker count; the rest
+            # run as before.
+            if "jobs" in inspect.signature(runner).parameters:
+                print(runner(jobs=args.jobs).report)
+            else:
+                print(runner().report)
             print()
         return 0
     if args.command == "attack":
         spec = _resolve_protocol(args.protocol, args.n, args.t)
         outcome = attack_weak_consensus(
-            spec, check=not args.no_check, early_stop=args.early_stop
+            spec,
+            check=not args.no_check,
+            early_stop=args.early_stop,
+            profile=args.profile,
         )
         print(outcome.render())
         if args.log:
@@ -209,12 +249,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(classify(problem).render())
         return 0
     if args.command == "sweep":
-        from repro.analysis.complexity import (
-            quadratic_parameter_grid,
-            sweep,
-        )
+        from repro.analysis.complexity import quadratic_parameter_grid
         from repro.analysis.fitting import fit_sweep
         from repro.analysis.tables import render_sweep
+        from repro.parallel import MeasureJob, SweepScheduler
 
         if args.grid == "proportional":
             grid = [
@@ -222,8 +260,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             ]
         else:
             grid = quadratic_parameter_grid(args.max_t)
-        points = sweep(_SWEEPABLE[args.protocol], grid)
+        report = SweepScheduler(jobs=args.jobs).run(
+            MeasureJob(builder=args.protocol, n=n, t=t)
+            for n, t in grid
+        )
+        report.raise_errors()
+        points = report.values()
         print(render_sweep(points))
+        if args.timings:
+            print()
+            print(report.render())
         try:
             print(f"fit: {fit_sweep(points).render()}")
         except ValueError:

@@ -33,7 +33,6 @@ from repro.protocols.external_validity import (
     external_validity_spec,
 )
 from repro.protocols.interactive_consistency import authenticated_ic_spec
-from repro.protocols.phase_king import phase_king_spec
 from repro.protocols.subquadratic import (
     committee_cheater_spec,
     leader_echo_spec,
@@ -186,30 +185,44 @@ CHEATERS: dict[str, Callable[[int, int], ProtocolSpec]] = {
 }
 
 
-def run_e3(ts: tuple[int, ...] = (8, 16, 24)) -> ExperimentResult:
-    """E3 — Lemmas 2–5: break every sub-quadratic cheater, every t."""
-    outcomes: list[AttackOutcome] = []
+def run_e3(
+    ts: tuple[int, ...] = (8, 16, 24), *, jobs: int = 1
+) -> ExperimentResult:
+    """E3 — Lemmas 2–5: break every sub-quadratic cheater, every t.
+
+    Args:
+        jobs: worker count for the attack matrix; ``1`` (the default)
+            runs the historical in-process sweep, ``> 1`` fans the cells
+            out over a process pool (bit-identical outcomes — see
+            :mod:`repro.parallel`).
+    """
+    from repro.parallel import AttackJob, SweepScheduler
+
+    matrix = [
+        AttackJob(builder=name, n=t + 4, t=t)
+        for name in CHEATERS
+        for t in ts
+    ]
+    sweep_report = SweepScheduler(jobs=jobs).run(matrix)
+    sweep_report.raise_errors()
+    outcomes: list[AttackOutcome] = sweep_report.values()
     rows = []
-    for name, builder in CHEATERS.items():
-        for t in ts:
-            n = t + 4
-            outcome = attack_weak_consensus(builder(n, t))
-            outcomes.append(outcome)
-            rows.append(
-                (
-                    name,
-                    n,
-                    t,
-                    outcome.bound.observed,
-                    f"{weak_consensus_floor(t):.1f}",
-                    outcome.witness.kind.value
-                    if outcome.witness
-                    else "NOT BROKEN",
-                    outcome.critical_round
-                    if outcome.critical_round is not None
-                    else "-",
-                )
+    for job, outcome in zip(matrix, outcomes):
+        rows.append(
+            (
+                job.builder,
+                job.n,
+                job.t,
+                outcome.bound.observed,
+                f"{weak_consensus_floor(job.t):.1f}",
+                outcome.witness.kind.value
+                if outcome.witness
+                else "NOT BROKEN",
+                outcome.critical_round
+                if outcome.critical_round is not None
+                else "-",
             )
+        )
     broken = sum(1 for outcome in outcomes if outcome.found_violation)
     report = "\n".join(
         [
@@ -227,7 +240,11 @@ def run_e3(ts: tuple[int, ...] = (8, 16, 24)) -> ExperimentResult:
         experiment="E3",
         title="attack driver vs cheaters (Figure 2 pipeline)",
         report=report,
-        data={"outcomes": outcomes, "broken": broken},
+        data={
+            "outcomes": outcomes,
+            "broken": broken,
+            "sweep": sweep_report,
+        },
     )
 
 
@@ -403,29 +420,46 @@ def run_e6(max_n: int = 7) -> ExperimentResult:
     )
 
 
-def run_e7(max_t: int = 8) -> ExperimentResult:
-    """E7 — Dolev–Reischuk context: measured protocol complexities."""
+def run_e7(max_t: int = 8, *, jobs: int = 1) -> ExperimentResult:
+    """E7 — Dolev–Reischuk context: measured protocol complexities.
+
+    Args:
+        jobs: worker count for the measurement matrix (``1`` = serial;
+            ``> 1`` fans cells out over a process pool, bit-identical).
+    """
+    from repro.parallel import MeasureJob, SweepScheduler
+
     grids = {
         # n = 2t keeps the population proportional to the budget, so the
         # quadratic term is visible in the fitted exponent even at small
         # scale (with constant slack the additive term dominates).
+        # Each label maps to its registered builder name so cells can be
+        # rebuilt inside worker processes.
         "dolev-strong": (
-            lambda n, t: dolev_strong_spec(n, t),
+            "dolev-strong",
             [(2 * t, t) for t in range(2, max_t + 1, 2)],
         ),
         "phase-king": (
-            lambda n, t: phase_king_spec(n, t),
+            "phase-king",
             [(3 * t + 1, t) for t in range(1, max(2, max_t // 2))],
         ),
         "ic-parallel-ds": (
-            lambda n, t: authenticated_ic_spec(n, t),
+            "ic",
             quadratic_parameter_grid(min(max_t, 6), step=2),
         ),
     }
+    matrix = [
+        MeasureJob(builder=builder, n=n, t=t)
+        for builder, grid in grids.values()
+        for n, t in grid
+    ]
+    sweep_report = SweepScheduler(jobs=jobs).run(matrix)
+    sweep_report.raise_errors()
+    points_iter = iter(sweep_report.values())
     all_points: dict[str, list[SweepPoint]] = {}
     sections = ["E7 — measured message complexity of the real protocols"]
-    for label, (builder, grid) in grids.items():
-        points = sweep(builder, grid)
+    for label, (_, grid) in grids.items():
+        points = [next(points_iter) for _ in grid]
         all_points[label] = points
         fit = fit_sweep(points)
         sections.append(f"\n[{label}] {fit.render()}")
@@ -434,7 +468,7 @@ def run_e7(max_t: int = 8) -> ExperimentResult:
         experiment="E7",
         title="protocol complexity vs Dolev–Reischuk",
         report="\n".join(sections),
-        data={"points": all_points},
+        data={"points": all_points, "sweep": sweep_report},
     )
 
 

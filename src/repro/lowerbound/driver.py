@@ -47,6 +47,7 @@ the engine counters in :class:`AttackOutcome` report the savings.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -61,6 +62,11 @@ from repro.lowerbound.witnesses import (
 from repro.omission.isolation import isolate_group, quiescent_toward
 from repro.omission.merge import MergeSpec, merge
 from repro.omission.swap import swap_omission_checked
+from repro.parallel.profiling import (
+    AttackProfile,
+    PhaseTimer,
+    ProfilingObserver,
+)
 from repro.protocols.base import ProtocolSpec
 from repro.sim.engine import (
     EarlyStopPolicy,
@@ -109,6 +115,13 @@ class ExecutionCache:
 
     ``hits`` counts exact key hits, ``alias_hits`` the semantic reuses,
     ``misses`` actual simulations.
+
+    Process-boundary note: ``_entries`` hold full execution traces and
+    ``_checkpointers`` hold live machine deep-copies — neither is ever
+    shipped across process boundaries.  A parallel sweep gives every
+    worker its own cache and sends back *counters only* (see
+    :class:`repro.parallel.jobs.CacheStats`), which the scheduler folds
+    into one aggregate via :meth:`merge_stats`.
     """
 
     hits: int = 0
@@ -116,6 +129,20 @@ class ExecutionCache:
     misses: int = 0
     _entries: dict = field(default_factory=dict, repr=False)
     _checkpointers: dict = field(default_factory=dict, repr=False)
+
+    def merge_stats(self, other) -> None:
+        """Fold another cache's *counters* into this one (counters only).
+
+        ``other`` is anything exposing ``hits`` / ``alias_hits`` /
+        ``misses`` integer attributes — a sibling :class:`ExecutionCache`
+        or the picklable :class:`repro.parallel.jobs.CacheStats` a worker
+        ships home.  Entries and checkpointers are deliberately *not*
+        merged: traces and machine snapshots stay within the process that
+        produced them.
+        """
+        self.hits += other.hits
+        self.alias_hits += other.alias_hits
+        self.misses += other.misses
 
     def lookup(self, key: tuple) -> _CacheEntry | None:
         """The entry stored under the exact ``key``, if any."""
@@ -176,6 +203,10 @@ class AttackOutcome:
         rounds_simulated: rounds the engine actually simulated.
         rounds_baseline: rounds a reuse-free pipeline (one full-horizon
             simulation per distinct configuration) would have simulated.
+        profile: wall-clock phase/round timings when profiling was
+            requested (``None`` otherwise).  Excluded from equality:
+            two runs of one attack agree on witnesses and verdicts but
+            never on wall time.
     """
 
     protocol: str
@@ -189,6 +220,7 @@ class AttackOutcome:
     log: tuple[str, ...] = ()
     rounds_simulated: int = 0
     rounds_baseline: int = 0
+    profile: AttackProfile | None = field(default=None, compare=False)
 
     @property
     def found_violation(self) -> bool:
@@ -215,6 +247,10 @@ class AttackOutcome:
             lines.append(f"  VIOLATION: {self.witness.summary()}")
         else:
             lines.append("  no violation found (bound respected)")
+        if self.profile is not None:
+            lines.extend(
+                "  " + line for line in self.profile.render().splitlines()
+            )
         return "\n".join(lines)
 
 
@@ -246,6 +282,10 @@ class LowerBoundDriver:
             and ``reuse`` replicates the simulate-everything pipeline.
         cache: a shared :class:`ExecutionCache`; by default each driver
             builds its own.
+        profile: record wall-clock timings — a
+            :class:`~repro.parallel.profiling.ProfilingObserver` on every
+            engine run plus per-phase driver spans — surfaced as
+            ``AttackOutcome.profile``.
     """
 
     spec: ProtocolSpec
@@ -255,6 +295,9 @@ class LowerBoundDriver:
     early_stop: bool = True
     reuse: bool = True
     cache: ExecutionCache | None = None
+    profile: bool = False
+    _phase_timer: PhaseTimer | None = field(default=None, repr=False)
+    _profiler: ProfilingObserver | None = field(default=None, repr=False)
     _log: list[str] = field(default_factory=list, repr=False)
     _max_messages: int = field(default=0, repr=False)
     _requested: set = field(default_factory=set, repr=False)
@@ -273,6 +316,9 @@ class LowerBoundDriver:
             raise ValueError("partition does not match the spec's (n, t)")
         if self.cache is None:
             self.cache = ExecutionCache()
+        if self.profile:
+            self._phase_timer = PhaseTimer()
+            self._profiler = ProfilingObserver()
         self._spec_key: _SpecKey = (
             self.spec.name,
             self.spec.n,
@@ -286,18 +332,24 @@ class LowerBoundDriver:
         default_bit: Payload | None = None
         critical_round: Round | None = None
         try:
-            self._fault_free_checks()
-            decisions = self._round_one_isolations()
+            with self._phase("fault-free"):
+                self._fault_free_checks()
+            with self._phase("isolation-scan"):
+                decisions = self._round_one_isolations()
             default_bit = self._lemma3_consistency(decisions)
             if default_bit is not None:
-                critical_round = self._critical_round_scan(default_bit)
+                with self._phase("isolation-scan"):
+                    critical_round = self._critical_round_scan(
+                        default_bit
+                    )
                 if critical_round is not None:
                     self._final_merge(default_bit, critical_round)
             self._note("pipeline exhausted without a violation")
         except _Found as found:
             witness = found.witness
             if self.verify:
-                verify_witness(witness, self.spec.factory)
+                with self._phase("witness-verify"):
+                    verify_witness(witness, self.spec.factory)
                 self._note("witness re-verified from scratch")
         assert self.partition is not None
         assert self.cache is not None
@@ -309,6 +361,9 @@ class LowerBoundDriver:
             f"{self._prefix_rounds_skipped} prefix rounds skipped, "
             f"{self._early_stops} early stops)"
         )
+        profile: AttackProfile | None = None
+        if self._phase_timer is not None:
+            profile = self._phase_timer.profile(self._profiler)
         return AttackOutcome(
             protocol=self.spec.name,
             n=self.spec.n,
@@ -323,6 +378,7 @@ class LowerBoundDriver:
             log=tuple(self._log),
             rounds_simulated=self._rounds_simulated,
             rounds_baseline=self._rounds_baseline,
+            profile=profile,
         )
 
     # ------------------------------------------------------------------
@@ -495,7 +551,8 @@ class LowerBoundDriver:
             round_b=round_b,
             round_c=round_c,
         )
-        merged = merge(spec, exec_b, exec_c, self.spec.factory)
+        with self._phase("merge"):
+            merged = merge(spec, exec_b, exec_c, self.spec.factory)
         self._observe(merged)
         self._note(
             f"merged B({round_b}) with C({round_c}); expecting B->"
@@ -731,6 +788,8 @@ class LowerBoundDriver:
         if self.reuse:
             checkpointer = MachineCheckpointer()
             observers.append(checkpointer)
+        if self._profiler is not None:
+            observers.append(self._profiler)
         execution = self.spec.run_uniform(
             bit, None, check=self.check, observers=observers
         )
@@ -832,6 +891,9 @@ class LowerBoundDriver:
                 adversary,
                 prefix,
                 from_round,
+                observers=(
+                    () if self._profiler is None else (self._profiler,)
+                ),
             )
             self._rounds_simulated += horizon - from_round + 1
             self._prefix_rounds_skipped += from_round - 1
@@ -844,6 +906,8 @@ class LowerBoundDriver:
         observers: list[RoundObserver] = [streaming]
         if self.early_stop and not full:
             observers.append(EarlyStopPolicy(scope="all"))
+        if self._profiler is not None:
+            observers.append(self._profiler)
         execution = self.spec.run_uniform(
             bit, adversary, check=self.check, observers=observers
         )
@@ -860,6 +924,12 @@ class LowerBoundDriver:
         self.cache.store(key, _CacheEntry(execution, messages, complete))
         self.cache.misses += 1
         return execution
+
+    def _phase(self, name: str):
+        """A timing span for ``name`` — a no-op unless profiling."""
+        if self._phase_timer is None:
+            return nullcontext()
+        return self._phase_timer.phase(name)
 
     def _group(self, label: str) -> frozenset[ProcessId]:
         assert self.partition is not None
@@ -893,6 +963,7 @@ def attack_weak_consensus(
     early_stop: bool = True,
     reuse: bool = True,
     cache: ExecutionCache | None = None,
+    profile: bool = False,
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
 
@@ -908,6 +979,8 @@ def attack_weak_consensus(
             simulate-everything pipeline round for round).
         cache: a shared :class:`ExecutionCache` for attacking the same
             protocol repeatedly (e.g. across partitions).
+        profile: record wall-clock phase and per-round timings on
+            ``AttackOutcome.profile`` (timings never affect equality).
     """
     driver = LowerBoundDriver(
         spec=spec,
@@ -917,6 +990,7 @@ def attack_weak_consensus(
         early_stop=early_stop,
         reuse=reuse,
         cache=cache,
+        profile=profile,
     )
     outcome = driver.attack()
     if minimize and outcome.witness is not None:

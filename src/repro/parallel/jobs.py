@@ -1,0 +1,243 @@
+"""Picklable sweep jobs and the builder-name registry they resolve.
+
+A sweep cell is one ``(builder, n, t)`` configuration of an attack or
+measurement.  Because :class:`~repro.protocols.base.ProtocolSpec` values
+carry arbitrary process factories (closures — not picklable), jobs never
+ship specs across process boundaries: a job carries only the *name* of a
+registered spec builder plus the parameters, and each worker rebuilds the
+spec locally via :func:`resolve_builder`.  Machines are deterministic, so
+a worker-rebuilt spec produces bit-identical executions, witnesses and
+verdicts to a locally built one — the cross-backend equivalence the
+scheduler's tests enforce.
+
+Job types:
+
+* :class:`AttackJob` — run the full Lemma 2–5 lower-bound pipeline
+  (:func:`~repro.lowerbound.driver.attack_weak_consensus`) on one cell;
+  returns the :class:`~repro.lowerbound.driver.AttackOutcome` plus the
+  worker's :class:`CacheStats`.
+* :class:`MeasureJob` — run the E1/E7 message-complexity measurement
+  (:func:`~repro.analysis.complexity.measure_point`) on one cell;
+  returns a :class:`~repro.analysis.complexity.SweepPoint`.
+
+Everything a job returns is wrapped in a :class:`JobResult` so the
+scheduler can account wall time, cache counters and engine round counts
+uniformly across job kinds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+
+class UnknownBuilderError(ReproError):
+    """A job named a spec builder the registry does not know."""
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters-only view of an :class:`ExecutionCache` — picklable.
+
+    The cache's entries and checkpointers hold live machine snapshots and
+    full execution traces; only these counters are shipped back from
+    workers (see ``ExecutionCache.merge_stats``).
+    """
+
+    hits: int = 0
+    alias_hits: int = 0
+    misses: int = 0
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """The element-wise sum of two counter sets."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            alias_hits=self.alias_hits + other.alias_hits,
+            misses=self.misses + other.misses,
+        )
+
+
+def _correct_builders() -> dict[str, Callable[[int, int], Any]]:
+    """The non-cheater builders every sweep layer shares."""
+    from repro.protocols.dolev_strong import dolev_strong_spec
+    from repro.protocols.interactive_consistency import (
+        authenticated_ic_spec,
+    )
+    from repro.protocols.phase_king import phase_king_spec
+    from repro.protocols.weak_consensus import (
+        broadcast_weak_consensus_spec,
+        naive_flooding_spec,
+    )
+
+    return {
+        "correct": lambda n, t: broadcast_weak_consensus_spec(n, t),
+        "weak-consensus": lambda n, t: broadcast_weak_consensus_spec(
+            n, t
+        ),
+        "naive-flooding": lambda n, t: naive_flooding_spec(n, t),
+        "dolev-strong": lambda n, t: dolev_strong_spec(n, t),
+        "phase-king": lambda n, t: phase_king_spec(n, t),
+        "ic": lambda n, t: authenticated_ic_spec(n, t),
+    }
+
+
+def resolve_builder(name: str) -> Callable[[int, int], Any]:
+    """Resolve a registered builder name to its ``(n, t) -> spec`` callable.
+
+    The registry is the union of the cheater registry
+    (:data:`repro.experiments.CHEATERS`) and the correct-protocol
+    builders shared with the CLI.  Imported lazily to keep this module —
+    which :mod:`repro.experiments` itself imports — cycle-free.
+
+    Raises:
+        UnknownBuilderError: for unregistered names (in a worker this
+            surfaces as a structured per-cell error, not a sweep abort).
+    """
+    from repro.experiments import CHEATERS
+
+    if name in CHEATERS:
+        return CHEATERS[name]
+    correct = _correct_builders()
+    if name in correct:
+        return correct[name]
+    known = sorted(set(CHEATERS) | set(correct))
+    raise UnknownBuilderError(
+        f"unknown spec builder {name!r}; registered: {', '.join(known)}"
+    )
+
+
+def registered_builders() -> list[str]:
+    """All resolvable builder names (cheaters plus correct protocols)."""
+    from repro.experiments import CHEATERS
+
+    return sorted(set(CHEATERS) | set(_correct_builders()))
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What one executed job sends back to the scheduler.
+
+    Attributes:
+        key: the job's ``(kind, builder, n, t)`` identity.
+        value: the job's payload — an ``AttackOutcome`` or ``SweepPoint``.
+        wall_seconds: the job's wall time inside the worker.
+        cache: the worker's execution-cache counters (attack jobs only).
+        rounds_simulated: engine rounds actually simulated.
+        rounds_baseline: rounds a reuse-free pipeline would have run.
+    """
+
+    key: tuple[str, str, int, int]
+    value: Any
+    wall_seconds: float
+    cache: CacheStats | None = None
+    rounds_simulated: int = 0
+    rounds_baseline: int = 0
+
+
+@dataclass(frozen=True)
+class AttackJob:
+    """One lower-bound attack cell, rebuildable in any worker process.
+
+    The option fields mirror
+    :func:`~repro.lowerbound.driver.attack_weak_consensus` defaults, so a
+    default-constructed job is bit-identical to the historical serial
+    sweep loop.
+    """
+
+    builder: str
+    n: int
+    t: int
+    verify: bool = True
+    check: bool = True
+    early_stop: bool = True
+    reuse: bool = True
+    profile: bool = False
+
+    @property
+    def key(self) -> tuple[str, str, int, int]:
+        """The cell identity ``("attack", builder, n, t)``."""
+        return ("attack", self.builder, self.n, self.t)
+
+    def run(self) -> JobResult:
+        """Rebuild the spec and run the full attack pipeline."""
+        from repro.lowerbound.driver import (
+            ExecutionCache,
+            attack_weak_consensus,
+        )
+
+        spec = resolve_builder(self.builder)(self.n, self.t)
+        cache = ExecutionCache()
+        begin = time.perf_counter()
+        outcome = attack_weak_consensus(
+            spec,
+            verify=self.verify,
+            check=self.check,
+            early_stop=self.early_stop,
+            reuse=self.reuse,
+            cache=cache,
+            profile=self.profile,
+        )
+        wall = time.perf_counter() - begin
+        return JobResult(
+            key=self.key,
+            value=outcome,
+            wall_seconds=wall,
+            cache=CacheStats(
+                hits=cache.hits,
+                alias_hits=cache.alias_hits,
+                misses=cache.misses,
+            ),
+            rounds_simulated=outcome.rounds_simulated,
+            rounds_baseline=outcome.rounds_baseline,
+        )
+
+
+@dataclass(frozen=True)
+class MeasureJob:
+    """One message-complexity measurement cell (the E1/E7 sweep kernel)."""
+
+    builder: str
+    n: int
+    t: int
+    include_mixed: bool = True
+
+    @property
+    def key(self) -> tuple[str, str, int, int]:
+        """The cell identity ``("measure", builder, n, t)``."""
+        return ("measure", self.builder, self.n, self.t)
+
+    def run(self) -> JobResult:
+        """Rebuild the spec and measure its worst message count."""
+        from repro.analysis.complexity import (
+            measure_point,
+            mixed_workload,
+            uniform_workloads,
+        )
+
+        spec = resolve_builder(self.builder)(self.n, self.t)
+        workloads = uniform_workloads(self.n)
+        if self.include_mixed:
+            workloads.append(mixed_workload(self.n))
+        begin = time.perf_counter()
+        point = measure_point(spec, workloads)
+        wall = time.perf_counter() - begin
+        return JobResult(
+            key=self.key, value=point, wall_seconds=wall
+        )
+
+
+SweepJob = AttackJob | MeasureJob
+"""The union of job kinds a scheduler accepts."""
+
+
+def execute_job(job: SweepJob) -> JobResult:
+    """Worker entry point: run one job and return its result.
+
+    Module-level (hence picklable) so
+    :class:`concurrent.futures.ProcessPoolExecutor` can ship it; also the
+    serial backend's kernel, keeping both backends on one code path.
+    """
+    return job.run()

@@ -1,0 +1,169 @@
+"""Lightweight wall-clock profiling for attack pipelines.
+
+Two collaborating pieces:
+
+* :class:`ProfilingObserver` — a
+  :class:`~repro.sim.engine.RoundObserver` that records the wall time of
+  every simulated round.  One instance is attached to *every* engine run
+  a driver launches, so its counters aggregate across the whole pipeline
+  (fault-free runs, isolation probes, checkpoint resumes).
+* :class:`PhaseTimer` — accumulates named wall-clock spans around the
+  driver's pipeline stages (fault-free checks, the isolation scan, merge
+  construction, witness verification).  Spans with the same name
+  accumulate; differently named spans may overlap (a merge performed
+  inside the isolation scan is charged to both), so the phase totals are
+  attributions, not a partition of the wall time.
+
+Both are summarized into an immutable :class:`AttackProfile`, surfaced on
+:class:`~repro.lowerbound.driver.AttackOutcome` (when profiling was
+requested) and aggregated into the
+:class:`~repro.parallel.scheduler.SweepReport` of a sweep.
+
+Timing uses :func:`time.perf_counter`; the overhead per round is two
+clock reads, far below the cost of a simulated round, so profiled runs
+remain representative.  Profiles are wall-clock data and therefore *not*
+part of outcome equality: two runs of the same attack produce equal
+witnesses and verdicts but different profiles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sim.engine import RoundEvent, RoundObserver
+
+
+@dataclass(frozen=True)
+class AttackProfile:
+    """Wall-clock summary of one attack pipeline run.
+
+    Attributes:
+        wall_seconds: total wall time of the pipeline.
+        phase_seconds: accumulated seconds per named driver phase, in
+            first-seen order.
+        rounds_timed: number of engine rounds individually timed.
+        round_seconds_total: summed wall time of all timed rounds.
+        round_seconds_max: the slowest single round.
+    """
+
+    wall_seconds: float
+    phase_seconds: tuple[tuple[str, float], ...] = ()
+    rounds_timed: int = 0
+    round_seconds_total: float = 0.0
+    round_seconds_max: float = 0.0
+
+    @property
+    def round_seconds_mean(self) -> float:
+        """Mean wall time of a simulated round (0.0 if none timed)."""
+        if not self.rounds_timed:
+            return 0.0
+        return self.round_seconds_total / self.rounds_timed
+
+    def phase(self, name: str) -> float:
+        """Accumulated seconds attributed to ``name`` (0.0 if absent)."""
+        for phase_name, seconds in self.phase_seconds:
+            if phase_name == name:
+                return seconds
+        return 0.0
+
+    def render(self) -> str:
+        """A short, human-readable timing block."""
+        lines = [f"wall time: {self.wall_seconds * 1e3:.2f} ms"]
+        for name, seconds in self.phase_seconds:
+            lines.append(f"  {name}: {seconds * 1e3:.2f} ms")
+        if self.rounds_timed:
+            lines.append(
+                f"  rounds timed: {self.rounds_timed} "
+                f"(total {self.round_seconds_total * 1e3:.2f} ms, "
+                f"mean {self.round_seconds_mean * 1e6:.1f} us, "
+                f"max {self.round_seconds_max * 1e6:.1f} us)"
+            )
+        return "\n".join(lines)
+
+
+class ProfilingObserver(RoundObserver):
+    """Per-round wall-time accounting, aggregated across engine runs.
+
+    The observer marks the clock at run start and after every dispatched
+    round; the delta is that round's wall time (including the other
+    observers' ``on_round`` work dispatched *before* this observer —
+    attach it last to charge rounds their full observation cost, first to
+    charge simulation only).  Counters accumulate across runs so one
+    instance can follow a whole driver pipeline.
+    """
+
+    def __init__(self) -> None:
+        self.rounds_timed = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self._mark: float | None = None
+
+    def on_run_start(self, config, machines, adversary) -> None:
+        self._mark = time.perf_counter()
+
+    def on_round(self, event: RoundEvent) -> None:
+        now = time.perf_counter()
+        if self._mark is not None:
+            elapsed = now - self._mark
+            self.rounds_timed += 1
+            self.total_seconds += elapsed
+            if elapsed > self.max_seconds:
+                self.max_seconds = elapsed
+        self._mark = now
+
+    def on_run_end(self, final_states, corrupted) -> None:
+        self._mark = None
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates named wall-clock spans around pipeline stages.
+
+    Use as::
+
+        timer = PhaseTimer()
+        with timer.phase("isolation-scan"):
+            ...
+
+    Same-named spans accumulate.  ``profile()`` assembles the immutable
+    :class:`AttackProfile`, folding in a :class:`ProfilingObserver`'s
+    per-round counters when one was attached.
+    """
+
+    _started: float = field(default_factory=time.perf_counter)
+    _totals: dict = field(default_factory=dict)
+    _order: list = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one span attributed to ``name`` (exception-safe)."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - begin
+            if name not in self._totals:
+                self._totals[name] = 0.0
+                self._order.append(name)
+            self._totals[name] += elapsed
+
+    def profile(
+        self, observer: ProfilingObserver | None = None
+    ) -> AttackProfile:
+        """The profile accumulated since this timer's construction."""
+        wall = time.perf_counter() - self._started
+        phases = tuple(
+            (name, self._totals[name]) for name in self._order
+        )
+        if observer is None:
+            return AttackProfile(wall_seconds=wall, phase_seconds=phases)
+        return AttackProfile(
+            wall_seconds=wall,
+            phase_seconds=phases,
+            rounds_timed=observer.rounds_timed,
+            round_seconds_total=observer.total_seconds,
+            round_seconds_max=observer.max_seconds,
+        )

@@ -1,0 +1,422 @@
+"""The sweep scheduler: fan attack matrices out over worker processes.
+
+The lower-bound sweep (every cheater × every ``(n, t)`` cell) is
+embarrassingly parallel: cells share no state — each worker rebuilds its
+spec from the registry by name, simulates with its own
+:class:`~repro.lowerbound.driver.ExecutionCache`, and ships back a
+picklable :class:`~repro.parallel.jobs.JobResult`.  Determinism of the
+machines makes the fan-out safe: a cell's witnesses and verdicts do not
+depend on which process runs it or when, so the parallel sweep is
+bit-identical to the serial one (enforced by the cross-backend
+equivalence tests).
+
+:class:`SweepScheduler` owns the two backends:
+
+* **serial** (``jobs=1``, the default) — runs cells in submission order
+  in-process, exactly the historical sweep loop;
+* **process** (``jobs>1``) — a
+  :class:`concurrent.futures.ProcessPoolExecutor` fan-out.  Results are
+  *gathered in deterministic cell order* regardless of completion order,
+  per-cell failures (worker exceptions, timeouts, even a broken pool)
+  are captured as structured :class:`CellError` records without aborting
+  the other cells, and per-worker cache counters are merged into one
+  aggregate via ``ExecutionCache.merge_stats``.
+
+The gathered :class:`SweepReport` carries per-cell wall times, merged
+cache accounting (hits / alias hits / misses), aggregate engine round
+counters and any per-cell errors — the sweep-level analogue of
+:class:`~repro.lowerbound.driver.AttackOutcome`'s engine counters.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.lowerbound.driver import ExecutionCache
+from repro.parallel.jobs import (
+    CacheStats,
+    JobResult,
+    SweepJob,
+    execute_job,
+)
+
+SERIAL = "serial"
+PROCESS = "process"
+
+
+@dataclass(frozen=True)
+class CellError:
+    """A structured per-cell failure record.
+
+    Attributes:
+        kind: ``"exception"`` (the job raised), ``"timeout"`` (the cell
+            exceeded the scheduler's per-cell budget) or
+            ``"broken-pool"`` (the worker process died and the in-process
+            retry also failed).
+        message: the one-line failure description.
+        detail: the formatted traceback (empty for timeouts).
+    """
+
+    kind: str
+    message: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One gathered cell: its identity plus a result or an error.
+
+    Exactly one of ``result`` / ``error`` is set.  ``index`` is the
+    cell's position in the submitted job sequence — the deterministic
+    gather order.
+    """
+
+    index: int
+    key: tuple[str, str, int, int]
+    result: JobResult | None = None
+    error: CellError | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a result."""
+        return self.result is not None
+
+    @property
+    def value(self) -> Any:
+        """The cell's payload (raises on errored cells)."""
+        if self.result is None:
+            assert self.error is not None
+            raise RuntimeError(
+                f"cell {self.key} failed ({self.error.kind}): "
+                f"{self.error.message}"
+            )
+        return self.result.value
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The gathered outcome of one scheduled sweep.
+
+    Attributes:
+        backend: ``"serial"`` or ``"process"``.
+        jobs: the worker count the sweep ran with.
+        cells: every cell in deterministic submission order.
+        wall_seconds: the sweep's end-to-end wall time.
+        cache: merged per-worker execution-cache counters.
+        rounds_simulated: engine rounds actually simulated, summed.
+        rounds_baseline: reuse-free baseline rounds, summed.
+    """
+
+    backend: str
+    jobs: int
+    cells: tuple[SweepCell, ...]
+    wall_seconds: float
+    cache: CacheStats = field(default_factory=CacheStats)
+    rounds_simulated: int = 0
+    rounds_baseline: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell produced a result."""
+        return all(cell.ok for cell in self.cells)
+
+    def values(self) -> list[Any]:
+        """Payloads of the successful cells, in cell order."""
+        return [cell.result.value for cell in self.cells if cell.ok]
+
+    def errors(self) -> list[SweepCell]:
+        """The errored cells, in cell order."""
+        return [cell for cell in self.cells if not cell.ok]
+
+    def cell_seconds(self) -> dict[tuple[str, str, int, int], float]:
+        """Per-cell wall seconds keyed by cell identity."""
+        return {cell.key: cell.wall_seconds for cell in self.cells}
+
+    def raise_errors(self) -> None:
+        """Raise a summary :class:`RuntimeError` if any cell failed."""
+        errored = self.errors()
+        if errored:
+            summary = "; ".join(
+                f"{cell.key} [{cell.error.kind}] {cell.error.message}"
+                for cell in errored
+                if cell.error is not None
+            )
+            raise RuntimeError(
+                f"{len(errored)}/{len(self.cells)} sweep cells failed: "
+                f"{summary}"
+            )
+
+    def render(self) -> str:
+        """A per-cell timing/accounting table plus the aggregate line."""
+        from repro.analysis.tables import render_table
+
+        rows = []
+        for cell in self.cells:
+            kind, builder, n, t = cell.key
+            if cell.ok:
+                assert cell.result is not None
+                status = "ok"
+                stats = cell.result.cache or CacheStats()
+                detail = (
+                    f"{stats.hits}/{stats.alias_hits}/{stats.misses}"
+                    if cell.result.cache is not None
+                    else "-"
+                )
+            else:
+                assert cell.error is not None
+                status = f"ERROR:{cell.error.kind}"
+                detail = "-"
+            rows.append(
+                (
+                    kind,
+                    builder,
+                    n,
+                    t,
+                    f"{cell.wall_seconds * 1e3:.1f}",
+                    detail,
+                    status,
+                )
+            )
+        table = render_table(
+            ("kind", "builder", "n", "t", "wall ms",
+             "hits/alias/miss", "status"),
+            rows,
+        )
+        summary = (
+            f"backend={self.backend} jobs={self.jobs} "
+            f"wall={self.wall_seconds * 1e3:.1f} ms; cache "
+            f"{self.cache.hits} hits, {self.cache.alias_hits} alias "
+            f"hits, {self.cache.misses} misses; simulated "
+            f"{self.rounds_simulated} rounds vs {self.rounds_baseline} "
+            f"baseline"
+        )
+        return f"{table}\n{summary}"
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-serializable summary (for ``benchmarks/reports/``)."""
+        return {
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cache": {
+                "hits": self.cache.hits,
+                "alias_hits": self.cache.alias_hits,
+                "misses": self.cache.misses,
+            },
+            "rounds_simulated": self.rounds_simulated,
+            "rounds_baseline": self.rounds_baseline,
+            "cells": [
+                {
+                    "kind": cell.key[0],
+                    "builder": cell.key[1],
+                    "n": cell.key[2],
+                    "t": cell.key[3],
+                    "wall_seconds": cell.wall_seconds,
+                    "ok": cell.ok,
+                    "error": (
+                        None
+                        if cell.error is None
+                        else {
+                            "kind": cell.error.kind,
+                            "message": cell.error.message,
+                        }
+                    ),
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def _error_from(exc: BaseException, kind: str = "exception") -> CellError:
+    return CellError(
+        kind=kind,
+        message=f"{type(exc).__name__}: {exc}",
+        detail="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    )
+
+
+@dataclass
+class SweepScheduler:
+    """Shards a job matrix across workers and gathers deterministically.
+
+    Attributes:
+        jobs: worker count; ``1`` selects the in-process serial backend
+            (bit-identical to the historical sweep loop), ``> 1`` the
+            process-pool backend.
+        timeout: optional per-cell wall-clock budget in seconds (process
+            backend only); an overrunning cell is recorded as a
+            ``"timeout"`` :class:`CellError` and the sweep moves on.
+    """
+
+    jobs: int = 1
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"need at least one worker, got {self.jobs}")
+
+    @property
+    def backend(self) -> str:
+        """The backend this scheduler will use."""
+        return SERIAL if self.jobs == 1 else PROCESS
+
+    def run(self, jobs: Iterable[SweepJob]) -> SweepReport:
+        """Execute every job and gather a :class:`SweepReport`.
+
+        Cells appear in the report in submission order regardless of
+        completion order; failures are per-cell, never sweep-aborting.
+        """
+        job_list = list(jobs)
+        begin = time.perf_counter()
+        if self.backend == SERIAL:
+            cells = self._run_serial(job_list)
+        else:
+            cells = self._run_process(job_list)
+        wall = time.perf_counter() - begin
+        return self._gather(cells, wall)
+
+    def _run_serial(
+        self, job_list: Sequence[SweepJob]
+    ) -> list[SweepCell]:
+        cells: list[SweepCell] = []
+        for index, job in enumerate(job_list):
+            begin = time.perf_counter()
+            try:
+                result = execute_job(job)
+            except Exception as exc:  # structured, not sweep-fatal
+                cells.append(
+                    SweepCell(
+                        index=index,
+                        key=job.key,
+                        error=_error_from(exc),
+                        wall_seconds=time.perf_counter() - begin,
+                    )
+                )
+            else:
+                cells.append(
+                    SweepCell(
+                        index=index,
+                        key=job.key,
+                        result=result,
+                        wall_seconds=result.wall_seconds,
+                    )
+                )
+        return cells
+
+    def _run_process(
+        self, job_list: Sequence[SweepJob]
+    ) -> list[SweepCell]:
+        cells: list[SweepCell] = []
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [
+                pool.submit(execute_job, job) for job in job_list
+            ]
+            for index, (job, future) in enumerate(
+                zip(job_list, futures)
+            ):
+                begin = time.perf_counter()
+                try:
+                    result = future.result(timeout=self.timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    cells.append(
+                        SweepCell(
+                            index=index,
+                            key=job.key,
+                            error=CellError(
+                                kind="timeout",
+                                message=(
+                                    f"cell exceeded the {self.timeout}s "
+                                    "per-cell budget"
+                                ),
+                            ),
+                            wall_seconds=time.perf_counter() - begin,
+                        )
+                    )
+                except Exception as exc:
+                    cells.append(self._recover(index, job, exc))
+                else:
+                    cells.append(
+                        SweepCell(
+                            index=index,
+                            key=job.key,
+                            result=result,
+                            wall_seconds=result.wall_seconds,
+                        )
+                    )
+        return cells
+
+    def _recover(
+        self, index: int, job: SweepJob, exc: BaseException
+    ) -> SweepCell:
+        """Handle a failed future; retry in-process if the pool died.
+
+        A worker that raised an ordinary exception is a per-cell failure.
+        A *dead worker process* (``BrokenProcessPool``) poisons every
+        pending future in the pool, so the affected cell is retried
+        in-process — the other cells must not pay for one crash.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not isinstance(exc, BrokenProcessPool):
+            return SweepCell(
+                index=index, key=job.key, error=_error_from(exc)
+            )
+        begin = time.perf_counter()
+        try:
+            result = execute_job(job)
+        except Exception as retry_exc:
+            return SweepCell(
+                index=index,
+                key=job.key,
+                error=_error_from(retry_exc, kind="broken-pool"),
+                wall_seconds=time.perf_counter() - begin,
+            )
+        return SweepCell(
+            index=index,
+            key=job.key,
+            result=result,
+            wall_seconds=result.wall_seconds,
+        )
+
+    def _gather(
+        self, cells: Sequence[SweepCell], wall: float
+    ) -> SweepReport:
+        """Merge per-worker counters into the aggregate report.
+
+        Uses ``ExecutionCache.merge_stats`` so the sweep-level cache
+        accounting goes through the same counters-only contract the
+        per-driver caches use (entries and checkpointers never cross
+        process boundaries).
+        """
+        merged = ExecutionCache()
+        rounds_simulated = 0
+        rounds_baseline = 0
+        for cell in cells:
+            if cell.result is None:
+                continue
+            if cell.result.cache is not None:
+                merged.merge_stats(cell.result.cache)
+            rounds_simulated += cell.result.rounds_simulated
+            rounds_baseline += cell.result.rounds_baseline
+        return SweepReport(
+            backend=self.backend,
+            jobs=self.jobs,
+            cells=tuple(cells),
+            wall_seconds=wall,
+            cache=CacheStats(
+                hits=merged.hits,
+                alias_hits=merged.alias_hits,
+                misses=merged.misses,
+            ),
+            rounds_simulated=rounds_simulated,
+            rounds_baseline=rounds_baseline,
+        )

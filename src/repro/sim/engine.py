@@ -221,12 +221,13 @@ class RoundEngine:
                 )
             )
             machine.deliver(round_, delivered)
-        adversary.observe_round(round_, frozenset(round_sent))
+        all_sent = frozenset(round_sent)
+        adversary.observe_round(round_, all_sent)
         return RoundEvent(
             round=round_,
             corrupted=corrupted,
             fragments=tuple(fragments),
-            all_sent=frozenset(round_sent),
+            all_sent=all_sent,
             decisions=tuple(machine.decision for machine in machines),
         )
 

@@ -224,7 +224,7 @@ def check_fragment(fragment: Fragment) -> None:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Behavior:
     """A k-round behavior of a process (A.1.5): its fragments in order.
 
