@@ -6,6 +6,10 @@ Subcommands:
 * ``all`` — run the full suite (EXPERIMENTS.md regeneration).
 * ``attack`` — run the lower-bound pipeline on a named cheater (or the
   correct protocol) at chosen ``(n, t)``.
+* ``certify`` — run the attack and write a portable v1 certificate
+  artifact (or, with ``matrix``, one artifact per seed-matrix cell).
+* ``verify-cert`` — independently verify saved certificate artifacts;
+  exit 1 with the first violated condition named on rejection.
 * ``classify`` — classify a named standard problem at ``(n, t)``.
 """
 
@@ -135,6 +139,59 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--n", type=int, default=16)
     verify.add_argument("--t", type=int, default=8)
 
+    certify_parser = subparsers.add_parser(
+        "certify",
+        help=(
+            "run the lower-bound attack and write a portable, "
+            "independently verifiable certificate artifact"
+        ),
+    )
+    certify_parser.add_argument(
+        "protocol",
+        choices=sorted(CHEATERS)
+        + ["correct", "naive-flooding", "matrix"],
+        help=(
+            "which candidate to certify, or 'matrix' for one artifact "
+            "per seed cheater-matrix cell"
+        ),
+    )
+    certify_parser.add_argument("--n", type=int, default=16)
+    certify_parser.add_argument("--t", type=int, default=8)
+    certify_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help=(
+            "artifact file (single protocol) or directory (matrix); "
+            "default: <protocol>-n<N>-t<T>.cert.json, or certificates/"
+        ),
+    )
+    certify_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the matrix (default: serial)",
+    )
+
+    verify_cert = subparsers.add_parser(
+        "verify-cert",
+        help=(
+            "independently verify saved certificate artifacts "
+            "(exit 1 names the first violated condition)"
+        ),
+    )
+    verify_cert.add_argument(
+        "paths", nargs="+", help="certificate JSON artifact(s)"
+    )
+    verify_cert.add_argument(
+        "--replay",
+        metavar="PROTOCOL",
+        choices=sorted(CHEATERS) + ["correct", "naive-flooding"],
+        help=(
+            "additionally replay every recorded behavior against this "
+            "protocol's live code (n, t are read from each artifact)"
+        ),
+    )
+
     classify_parser = subparsers.add_parser(
         "classify", help="classify a standard agreement problem"
     )
@@ -244,6 +301,72 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         print(f"VERIFIED: {witness.summary()}")
         return 0
+    if args.command == "certify":
+        from repro.certify.verifier import verify_certificate
+
+        if args.protocol == "matrix":
+            import os
+
+            from repro.parallel import AttackJob, SweepScheduler
+
+            out_dir = args.out or "certificates"
+            os.makedirs(out_dir, exist_ok=True)
+            matrix = [
+                AttackJob(builder=name, n=t + 4, t=t, certify=True)
+                for name in sorted(CHEATERS)
+                for t in (8, 16, 24)
+            ]
+            report = SweepScheduler(jobs=args.jobs).run(matrix)
+            report.raise_errors()
+            for cell in report.cells:
+                assert cell.result is not None
+                assert cell.result.certificate is not None
+                _, builder, n, t = cell.key
+                path = os.path.join(
+                    out_dir, f"{builder}-n{n}-t{t}.cert.json"
+                )
+                with open(path, "wb") as handle:
+                    handle.write(cell.result.certificate)
+                print(f"{path}: written (verified in gather)")
+            print(
+                f"{report.certificates_verified} certificate(s) in "
+                f"{out_dir}/, each independently verified"
+            )
+            return 0
+        spec = _resolve_protocol(args.protocol, args.n, args.t)
+        outcome = attack_weak_consensus(spec, certify=True)
+        certificate = outcome.certificate
+        assert certificate is not None
+        verdict = verify_certificate(certificate)
+        path = args.out or (
+            f"{args.protocol}-n{args.n}-t{args.t}.cert.json"
+        )
+        with open(path, "wb") as handle:
+            handle.write(certificate.to_bytes())
+        print(outcome.render())
+        print(verdict.render())
+        print(f"certificate written to {path}")
+        return 0 if verdict.ok else 1
+    if args.command == "verify-cert":
+        import json
+
+        from repro.certify.verifier import verify_certificate
+
+        failures = 0
+        for path in args.paths:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            factory = None
+            if args.replay:
+                claim = json.loads(blob.decode("utf-8")).get("claim", {})
+                factory = _resolve_protocol(
+                    args.replay, claim.get("n", 0), claim.get("t", 0)
+                ).factory
+            report = verify_certificate(blob, factory=factory)
+            print(f"{path}: {report.render()}")
+            if not report.ok:
+                failures += 1
+        return 1 if failures else 0
     if args.command == "classify":
         problem = _PROBLEMS[args.problem](args.n, args.t)
         print(classify(problem).render())

@@ -199,7 +199,7 @@ def run_e3(
     from repro.parallel import AttackJob, SweepScheduler
 
     matrix = [
-        AttackJob(builder=name, n=t + 4, t=t)
+        AttackJob(builder=name, n=t + 4, t=t, certify=True)
         for name in CHEATERS
         for t in ts
     ]
@@ -234,6 +234,9 @@ def run_e3(
             ),
             f"broken: {broken}/{len(outcomes)} "
             "(every witness re-verified from scratch)",
+            f"certificates: {sweep_report.certificates_verified}/"
+            f"{len(outcomes)} cells shipped a portable attack "
+            "certificate accepted by the independent verifier",
         ]
     )
     return ExperimentResult(

@@ -9,6 +9,22 @@
 The helpers here are used by benches to annotate measurements and by the
 driver to decide whether an algorithm's observed traffic even *could* be a
 correct weak consensus.
+
+>>> weak_consensus_floor(8)
+2.0
+>>> weak_consensus_floor(32)
+32.0
+>>> dolev_reischuk_floor(10, 3, authenticated=True)
+19.0
+>>> dolev_reischuk_floor(10, 3, authenticated=False)
+30.0
+>>> comparison = BoundComparison(t=16, observed=4)
+>>> comparison.floor
+8.0
+>>> comparison.below_floor
+True
+>>> comparison.render()
+'t=16: observed 4 < floor t^2/32 = 8.00 (ratio 0.50)'
 """
 
 from __future__ import annotations

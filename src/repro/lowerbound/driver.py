@@ -49,7 +49,10 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.certify.format import Certificate
 
 from repro.errors import ModelViolation, ReproError
 from repro.lowerbound.bound import BoundComparison
@@ -207,6 +210,12 @@ class AttackOutcome:
             requested (``None`` otherwise).  Excluded from equality:
             two runs of one attack agree on witnesses and verdicts but
             never on wall time.
+        certificate: the portable v1 artifact packaging this outcome's
+            claim (when certification was requested).  Excluded from
+            equality like ``profile``: the certificate is derived
+            evidence, and reuse-enabled and reuse-free runs of one
+            attack may embed differently-labeled (yet equally valid)
+            execution sets.
     """
 
     protocol: str
@@ -221,6 +230,7 @@ class AttackOutcome:
     rounds_simulated: int = 0
     rounds_baseline: int = 0
     profile: AttackProfile | None = field(default=None, compare=False)
+    certificate: "Certificate | None" = field(default=None, compare=False)
 
     @property
     def found_violation(self) -> bool:
@@ -247,6 +257,12 @@ class AttackOutcome:
             lines.append(f"  VIOLATION: {self.witness.summary()}")
         else:
             lines.append("  no violation found (bound respected)")
+        if self.certificate is not None:
+            lines.append(
+                f"  certificate: schema v{self.certificate.schema}, "
+                f"{len(self.certificate.execution_labels)} execution(s) "
+                "embedded"
+            )
         if self.profile is not None:
             lines.extend(
                 "  " + line for line in self.profile.render().splitlines()
@@ -286,6 +302,12 @@ class LowerBoundDriver:
             :class:`~repro.parallel.profiling.ProfilingObserver` on every
             engine run plus per-phase driver spans — surfaced as
             ``AttackOutcome.profile``.
+        certify: package the outcome as a portable v1 attack
+            certificate (``AttackOutcome.certificate``): the pipeline
+            records which configuration produced each trace and which
+            merge/swap produced the witness, and the final artifact
+            embeds the evidence chain for
+            :func:`repro.certify.verifier.verify_certificate`.
     """
 
     spec: ProtocolSpec
@@ -296,6 +318,7 @@ class LowerBoundDriver:
     reuse: bool = True
     cache: ExecutionCache | None = None
     profile: bool = False
+    certify: bool = False
     _phase_timer: PhaseTimer | None = field(default=None, repr=False)
     _profiler: ProfilingObserver | None = field(default=None, repr=False)
     _log: list[str] = field(default_factory=list, repr=False)
@@ -305,6 +328,16 @@ class LowerBoundDriver:
     _rounds_baseline: int = field(default=0, repr=False)
     _prefix_rounds_skipped: int = field(default=0, repr=False)
     _early_stops: int = field(default=0, repr=False)
+    # certification trail: which (bit, group, from_round) produced each
+    # trace, plus the merge/swap contexts the witness (if any) fell out
+    # of.  Keyed by object identity — the cache keeps the traces alive
+    # for the driver's lifetime.
+    _cert_origin: dict = field(default_factory=dict, repr=False)
+    _cert_merge_ctx: dict | None = field(default=None, repr=False)
+    _cert_swap_ctx: dict | None = field(default=None, repr=False)
+    _cert_max_execution: Execution | None = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.partition is None:
@@ -364,6 +397,17 @@ class LowerBoundDriver:
         profile: AttackProfile | None = None
         if self._phase_timer is not None:
             profile = self._phase_timer.profile(self._profiler)
+        certificate: "Certificate | None" = None
+        if self.certify:
+            with self._phase("certify"):
+                certificate = self._build_certificate(
+                    witness, default_bit, critical_round
+                )
+            self._note(
+                "certificate assembled: "
+                f"{len(certificate.execution_labels)} execution(s) "
+                "embedded"
+            )
         return AttackOutcome(
             protocol=self.spec.name,
             n=self.spec.n,
@@ -379,6 +423,7 @@ class LowerBoundDriver:
             rounds_simulated=self._rounds_simulated,
             rounds_baseline=self._rounds_baseline,
             profile=profile,
+            certificate=certificate,
         )
 
     # ------------------------------------------------------------------
@@ -553,6 +598,14 @@ class LowerBoundDriver:
         )
         with self._phase("merge"):
             merged = merge(spec, exec_b, exec_c, self.spec.factory)
+        if self.certify:
+            self._cert_merge_ctx = {
+                "exec_b": exec_b,
+                "exec_c": exec_c,
+                "round_b": round_b,
+                "round_c": round_c,
+                "merged": merged,
+            }
         self._observe(merged)
         self._note(
             f"merged B({round_b}) with C({round_c}); expecting B->"
@@ -645,6 +698,12 @@ class LowerBoundDriver:
                 )
                 continue
             counterpart = witnesses[0]
+            if self.certify:
+                self._cert_swap_ctx = {
+                    "source": execution,
+                    "result": swapped.execution,
+                    "process": pid,
+                }
             if swapped.execution.decision(pid) is None:
                 self._found(
                     ViolationWitness(
@@ -743,6 +802,25 @@ class LowerBoundDriver:
         paths return executions bit-identical to a fresh simulation, so
         callers never observe the difference.
         """
+        execution = self._run_config(bit, group, from_round, full=full)
+        if self.certify:
+            # Remember which configuration produced the trace; with
+            # quiescent aliasing one trace may serve several requested
+            # rounds, and the *first* (actually simulated) origin is the
+            # one whose isolation claim certainly holds.
+            self._cert_origin.setdefault(
+                id(execution), (bit, group, from_round)
+            )
+        return execution
+
+    def _run_config(
+        self,
+        bit: Bit,
+        group: str | None,
+        from_round: Round | None,
+        *,
+        full: bool = False,
+    ) -> Execution:
         assert self.cache is not None
         horizon = self.spec.rounds
         sig = (
@@ -795,7 +873,7 @@ class LowerBoundDriver:
         )
         self._rounds_simulated += execution.rounds
         messages = streaming.correct_messages
-        self._observe_messages(messages)
+        self._observe_messages(messages, execution=execution)
         self.cache.store(key, _CacheEntry(execution, messages, True))
         self.cache.misses += 1
         if checkpointer is not None and checkpointer.enabled:
@@ -828,7 +906,7 @@ class LowerBoundDriver:
             )
             self.cache.store(key, entry)
             self.cache.alias_hits += 1
-            self._observe_messages(entry.messages)
+            self._observe_messages(entry.messages, execution=execution)
             return execution
         family = self.cache.isolation_family(self._spec_key, bit, members)
         for k_prime, sibling in sorted(family, reverse=True):
@@ -838,7 +916,9 @@ class LowerBoundDriver:
             if quiescent_toward(sibling.execution, members, lo, hi):
                 self.cache.store(key, sibling)
                 self.cache.alias_hits += 1
-                self._observe_messages(sibling.messages)
+                self._observe_messages(
+                    sibling.messages, execution=sibling.execution
+                )
                 return sibling.execution
         return None
 
@@ -898,7 +978,7 @@ class LowerBoundDriver:
             self._rounds_simulated += horizon - from_round + 1
             self._prefix_rounds_skipped += from_round - 1
             messages = execution.message_complexity()
-            self._observe_messages(messages)
+            self._observe_messages(messages, execution=execution)
             self.cache.store(key, _CacheEntry(execution, messages, True))
             self.cache.misses += 1
             return execution
@@ -920,7 +1000,7 @@ class LowerBoundDriver:
             # Truncated traces undercount §2 complexity (protocols may
             # keep sending after deciding), so only full runs feed the
             # observed bound.
-            self._observe_messages(messages)
+            self._observe_messages(messages, execution=execution)
         self.cache.store(key, _CacheEntry(execution, messages, complete))
         self.cache.misses += 1
         return execution
@@ -940,9 +1020,22 @@ class LowerBoundDriver:
         raise ReproError(f"unknown group label {label!r}")
 
     def _observe(self, execution: Execution) -> None:
-        self._observe_messages(execution.message_complexity())
+        self._observe_messages(
+            execution.message_complexity(), execution=execution
+        )
 
-    def _observe_messages(self, messages: int) -> None:
+    def _observe_messages(
+        self, messages: int, execution: Execution | None = None
+    ) -> None:
+        if (
+            self.certify
+            and execution is not None
+            and (
+                messages > self._max_messages
+                or self._cert_max_execution is None
+            )
+        ):
+            self._cert_max_execution = execution
         self._max_messages = max(self._max_messages, messages)
 
     def _note(self, message: str) -> None:
@@ -951,6 +1044,143 @@ class LowerBoundDriver:
     def _found(self, witness: ViolationWitness) -> None:
         self._note(f"violation: {witness.summary()}")
         raise _Found(witness)
+
+    # ------------------------------------------------------------------
+    # certification
+    # ------------------------------------------------------------------
+
+    def _build_certificate(
+        self,
+        witness: ViolationWitness | None,
+        default_bit: Payload | None,
+        critical_round: Round | None,
+    ) -> "Certificate":
+        """Package the attack's evidence chain as a v1 certificate.
+
+        Embeds only the critical-path traces: the witness execution, the
+        pre-swap source, the merge inputs (when the source is a merge
+        result) — or, for a respected bound, the trace attaining the
+        observed maximum.  Each embedded trace carries its provenance
+        (which configuration simulated it, which construction derived
+        it), the Definition-1 isolation claims its origin guarantees,
+        and the Lemma-15/16 indistinguishability conclusions.
+        """
+        from repro.certify.format import build_certificate
+
+        assert self.partition is not None
+        executions: dict[str, Execution] = {}
+        provenance: list[dict] = []
+        indistinguishability: list[dict] = []
+        isolations: list[dict] = []
+
+        def embed(execution: Execution, label: str) -> str:
+            executions[label] = execution
+            origin = self._cert_origin.get(id(execution))
+            if origin is not None:
+                bit, group, from_round = origin
+                step: dict = {"op": "simulate", "result": label,
+                              "proposal_bit": bit}
+                if group is not None:
+                    step["op"] = "isolate"
+                    step["isolated_group"] = group
+                    step["from_round"] = from_round
+                    isolations.append(
+                        {
+                            "execution": label,
+                            "group": sorted(self._group(group)),
+                            "from_round": from_round,
+                        }
+                    )
+                provenance.append(step)
+            return label
+
+        def embed_with_history(execution: Execution, label: str) -> str:
+            ctx = self._cert_merge_ctx
+            if ctx is not None and ctx["merged"] is execution:
+                embed(ctx["exec_b"], "merge-input-b")
+                embed(ctx["exec_c"], "merge-input-c")
+                executions[label] = execution
+                provenance.append(
+                    {
+                        "op": "merge",
+                        "inputs": ["merge-input-b", "merge-input-c"],
+                        "result": label,
+                        "round_b": ctx["round_b"],
+                        "round_c": ctx["round_c"],
+                    }
+                )
+                # Lemma 16: the merge replays B's and C's behaviors
+                # verbatim, so each group cannot tell the merged
+                # execution from its own input.
+                indistinguishability.append(
+                    {
+                        "left": "merge-input-b",
+                        "right": label,
+                        "processes": sorted(self.partition.group_b),
+                    }
+                )
+                indistinguishability.append(
+                    {
+                        "left": "merge-input-c",
+                        "right": label,
+                        "processes": sorted(self.partition.group_c),
+                    }
+                )
+            else:
+                embed(execution, label)
+            return label
+
+        witness_label: str | None = None
+        max_label: str | None = None
+        if witness is not None:
+            witness_label = "witness"
+            swap_ctx = self._cert_swap_ctx
+            if (
+                swap_ctx is not None
+                and swap_ctx["result"] is witness.execution
+            ):
+                embed_with_history(swap_ctx["source"], "pre-swap")
+                executions[witness_label] = witness.execution
+                provenance.append(
+                    {
+                        "op": "swap",
+                        "source": "pre-swap",
+                        "result": witness_label,
+                        "process": swap_ctx["process"],
+                    }
+                )
+                # Lemma 15: swap_omission only re-attributes blame;
+                # nobody's observations change.
+                indistinguishability.append(
+                    {
+                        "left": "pre-swap",
+                        "right": witness_label,
+                        "processes": list(range(self.spec.n)),
+                    }
+                )
+            else:
+                embed_with_history(witness.execution, witness_label)
+        elif self._cert_max_execution is not None:
+            max_label = embed_with_history(
+                self._cert_max_execution, "max-messages"
+            )
+        return build_certificate(
+            protocol=self.spec.name,
+            n=self.spec.n,
+            t=self.spec.t,
+            rounds=self.spec.rounds,
+            partition=self.partition,
+            executions=executions,
+            witness=witness,
+            witness_label=witness_label,
+            provenance=provenance,
+            indistinguishability=indistinguishability,
+            isolations=isolations,
+            observed=self._max_messages,
+            max_label=max_label,
+            default_bit=default_bit,
+            critical_round=critical_round,
+        )
 
 
 def attack_weak_consensus(
@@ -964,6 +1194,7 @@ def attack_weak_consensus(
     reuse: bool = True,
     cache: ExecutionCache | None = None,
     profile: bool = False,
+    certify: bool = False,
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
 
@@ -972,6 +1203,8 @@ def attack_weak_consensus(
         verify: re-verify any witness from scratch before returning.
         minimize: additionally truncate the witness execution to its
             shortest still-verifying prefix (agreement witnesses only).
+            The certificate (if requested) embeds the *unminimized*
+            witness execution — the artifact must stay self-consistent.
         check: validate simulated traces against the model conditions.
         early_stop: halt decision-only simulations at the decision round.
         reuse: enable checkpoint-resume and quiescent-alias execution
@@ -981,6 +1214,11 @@ def attack_weak_consensus(
             protocol repeatedly (e.g. across partitions).
         profile: record wall-clock phase and per-round timings on
             ``AttackOutcome.profile`` (timings never affect equality).
+        certify: attach a portable v1 attack certificate
+            (``AttackOutcome.certificate``) packaging the witness, its
+            merge/swap provenance, the isolation and
+            indistinguishability claims, and the ``t²/32`` accounting
+            for :func:`repro.certify.verifier.verify_certificate`.
     """
     driver = LowerBoundDriver(
         spec=spec,
@@ -991,6 +1229,7 @@ def attack_weak_consensus(
         reuse=reuse,
         cache=cache,
         profile=profile,
+        certify=certify,
     )
     outcome = driver.attack()
     if minimize and outcome.witness is not None:

@@ -28,7 +28,7 @@ uniformly across job kinds.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 from repro.errors import ReproError
@@ -127,6 +127,12 @@ class JobResult:
         cache: the worker's execution-cache counters (attack jobs only).
         rounds_simulated: engine rounds actually simulated.
         rounds_baseline: rounds a reuse-free pipeline would have run.
+        certificate: the cell's attack certificate as canonical UTF-8
+            JSON bytes (certifying attack jobs only).  Shipped as bytes
+            — not as the live :class:`~repro.certify.format.Certificate`
+            — so the scheduler's gather step verifies *exactly* the
+            artifact that crossed the process boundary, and so both
+            backends return byte-identical evidence.
     """
 
     key: tuple[str, str, int, int]
@@ -135,6 +141,7 @@ class JobResult:
     cache: CacheStats | None = None
     rounds_simulated: int = 0
     rounds_baseline: int = 0
+    certificate: bytes | None = None
 
 
 @dataclass(frozen=True)
@@ -155,6 +162,7 @@ class AttackJob:
     early_stop: bool = True
     reuse: bool = True
     profile: bool = False
+    certify: bool = False
 
     @property
     def key(self) -> tuple[str, str, int, int]:
@@ -162,7 +170,13 @@ class AttackJob:
         return ("attack", self.builder, self.n, self.t)
 
     def run(self) -> JobResult:
-        """Rebuild the spec and run the full attack pipeline."""
+        """Rebuild the spec and run the full attack pipeline.
+
+        With ``certify`` the worker renders the attack certificate to
+        canonical bytes and strips the live object off the outcome —
+        the artifact travels once, as ``JobResult.certificate``, and the
+        gather step re-verifies it before the sweep reports the cell.
+        """
         from repro.lowerbound.driver import (
             ExecutionCache,
             attack_weak_consensus,
@@ -179,8 +193,13 @@ class AttackJob:
             reuse=self.reuse,
             cache=cache,
             profile=self.profile,
+            certify=self.certify,
         )
         wall = time.perf_counter() - begin
+        certificate_bytes: bytes | None = None
+        if outcome.certificate is not None:
+            certificate_bytes = outcome.certificate.to_bytes()
+            outcome = replace(outcome, certificate=None)
         return JobResult(
             key=self.key,
             value=outcome,
@@ -192,6 +211,7 @@ class AttackJob:
             ),
             rounds_simulated=outcome.rounds_simulated,
             rounds_baseline=outcome.rounds_baseline,
+            certificate=certificate_bytes,
         )
 
 

@@ -55,9 +55,11 @@ class CellError:
 
     Attributes:
         kind: ``"exception"`` (the job raised), ``"timeout"`` (the cell
-            exceeded the scheduler's per-cell budget) or
-            ``"broken-pool"`` (the worker process died and the in-process
-            retry also failed).
+            exceeded the scheduler's per-cell budget),
+            ``"broken-pool"`` (the worker process died and the
+            in-process retry also failed) or ``"certificate"`` (the
+            cell's shipped attack certificate failed the gather step's
+            independent verification).
         message: the one-line failure description.
         detail: the formatted traceback (empty for timeouts).
     """
@@ -111,6 +113,10 @@ class SweepReport:
         cache: merged per-worker execution-cache counters.
         rounds_simulated: engine rounds actually simulated, summed.
         rounds_baseline: reuse-free baseline rounds, summed.
+        certificates_verified: how many shipped cell certificates the
+            gather step's independent verifier accepted (cells whose
+            certificate is rejected surface as ``"certificate"`` errors,
+            never as results).
     """
 
     backend: str
@@ -120,6 +126,7 @@ class SweepReport:
     cache: CacheStats = field(default_factory=CacheStats)
     rounds_simulated: int = 0
     rounds_baseline: int = 0
+    certificates_verified: int = 0
 
     @property
     def ok(self) -> bool:
@@ -196,6 +203,10 @@ class SweepReport:
             f"{self.rounds_simulated} rounds vs {self.rounds_baseline} "
             f"baseline"
         )
+        if self.certificates_verified:
+            summary += (
+                f"; {self.certificates_verified} certificate(s) verified"
+            )
         return f"{table}\n{summary}"
 
     def to_payload(self) -> dict[str, Any]:
@@ -211,6 +222,7 @@ class SweepReport:
             },
             "rounds_simulated": self.rounds_simulated,
             "rounds_baseline": self.rounds_baseline,
+            "certificates_verified": self.certificates_verified,
             "cells": [
                 {
                     "kind": cell.key[0],
@@ -395,11 +407,18 @@ class SweepScheduler:
         Uses ``ExecutionCache.merge_stats`` so the sweep-level cache
         accounting goes through the same counters-only contract the
         per-driver caches use (entries and checkpointers never cross
-        process boundaries).
+        process boundaries).  Cells that shipped an attack certificate
+        are re-verified here — by the standalone
+        :func:`repro.certify.verifier.verify_certificate`, against the
+        exact bytes that crossed the process boundary — and a rejected
+        certificate turns its cell into a ``"certificate"`` error: the
+        sweep never reports an outcome whose evidence does not check.
         """
+        cells = [self._verify_cell(cell) for cell in cells]
         merged = ExecutionCache()
         rounds_simulated = 0
         rounds_baseline = 0
+        certificates_verified = 0
         for cell in cells:
             if cell.result is None:
                 continue
@@ -407,6 +426,8 @@ class SweepScheduler:
                 merged.merge_stats(cell.result.cache)
             rounds_simulated += cell.result.rounds_simulated
             rounds_baseline += cell.result.rounds_baseline
+            if cell.result.certificate is not None:
+                certificates_verified += 1
         return SweepReport(
             backend=self.backend,
             jobs=self.jobs,
@@ -419,4 +440,30 @@ class SweepScheduler:
             ),
             rounds_simulated=rounds_simulated,
             rounds_baseline=rounds_baseline,
+            certificates_verified=certificates_verified,
+        )
+
+    @staticmethod
+    def _verify_cell(cell: SweepCell) -> SweepCell:
+        """Independently verify a cell's shipped certificate, if any."""
+        from repro.certify.verifier import verify_certificate
+
+        if cell.result is None or cell.result.certificate is None:
+            return cell
+        report = verify_certificate(cell.result.certificate)
+        if report.ok:
+            return cell
+        assert report.first is not None
+        return SweepCell(
+            index=cell.index,
+            key=cell.key,
+            error=CellError(
+                kind="certificate",
+                message=(
+                    "shipped certificate rejected; first violated "
+                    f"condition: {report.first.condition}"
+                ),
+                detail=report.render(),
+            ),
+            wall_seconds=cell.wall_seconds,
         )

@@ -16,6 +16,20 @@ set of types the library's protocols actually put on the wire:
 
 Unknown types raise :class:`~repro.errors.ReproError` at encode time —
 fail loudly rather than write an artifact that cannot be reloaded.
+
+Encoding is *canonical*: the same value always yields the same JSON,
+regardless of set iteration order (which varies across interpreters with
+hash randomization).  Unordered collections are sorted by
+:func:`canonical_json` of their encoded elements, so two equal payloads
+— however they were built — encode identically:
+
+>>> left = encode_payload(frozenset({(1, 2), (0, 9)}))
+>>> right = encode_payload(frozenset({(0, 9), (1, 2)}))
+>>> left == right
+True
+>>> value = (1, frozenset({(2, 3), (1, 4), None}), b"\\x00")
+>>> decode_payload(encode_payload(value)) == value
+True
 """
 
 from __future__ import annotations
@@ -29,6 +43,27 @@ from repro.sim.message import Message
 from repro.sim.state import Behavior, Fragment, StateSnapshot
 
 FORMAT_VERSION = 1
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON rendering of an already-encoded record.
+
+    Used as the sort key for unordered collections (frozensets, message
+    sets).  ``sort_keys=True`` makes the key independent of dict insertion
+    order, so the ordering depends only on the *values* of the encoded
+    elements — never on set iteration order, which hash randomization
+    scrambles across interpreters.  Before this canonicalization, a
+    ``tuple`` nested inside a ``frozenset`` could legally serialize in
+    different element orders on different interpreters (the old sort key
+    preserved insertion order of record keys), breaking byte-identity of
+    artifacts across machines.
+
+    >>> canonical_json({"k": "lit", "v": 1})
+    '{"k":"lit","v":1}'
+    >>> canonical_json({"v": 1, "k": "lit"})
+    '{"k":"lit","v":1}'
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
 def encode_payload(value: Any) -> Any:
@@ -71,7 +106,7 @@ def encode_payload(value: Any) -> Any:
         }
     if isinstance(value, frozenset):
         encoded = [encode_payload(element) for element in value]
-        encoded.sort(key=json.dumps)  # determinism
+        encoded.sort(key=canonical_json)  # canonical order, see above
         return {"k": "fset", "v": encoded}
     raise ReproError(
         f"cannot serialize payload of type {type(value).__name__}"
@@ -141,7 +176,7 @@ def _decode_message(data: dict) -> Message:
 
 def _encode_messages(messages: frozenset[Message]) -> list:
     encoded = [_encode_message(message) for message in messages]
-    encoded.sort(key=json.dumps)
+    encoded.sort(key=canonical_json)
     return encoded
 
 

@@ -1,0 +1,40 @@
+"""Shared fixtures: certified attack outcomes to dissect.
+
+Session-scoped — the attacks are deterministic and read-only; tests that
+mutate artifacts deep-copy the payload first.
+"""
+
+import pytest
+
+from repro.lowerbound.driver import attack_weak_consensus
+from repro.protocols.subquadratic import leader_echo_spec
+from repro.protocols.weak_consensus import naive_flooding_spec
+
+
+@pytest.fixture(scope="session")
+def violation_setup():
+    """A certified violation: (spec, outcome) for a broken cheater.
+
+    leader-echo actually sends messages, so the artifact exercises the
+    message-level conditions (silent's traces are all-empty).
+    """
+    spec = leader_echo_spec(12, 8)
+    outcome = attack_weak_consensus(spec, certify=True)
+    assert outcome.witness is not None
+    assert outcome.certificate is not None
+    return spec, outcome
+
+
+@pytest.fixture(scope="session")
+def violation_certificate(violation_setup):
+    return violation_setup[1].certificate
+
+
+@pytest.fixture(scope="session")
+def bound_setup():
+    """A certified bound-respected outcome: (spec, outcome)."""
+    spec = naive_flooding_spec(8, 4)
+    outcome = attack_weak_consensus(spec, certify=True)
+    assert outcome.witness is None
+    assert outcome.certificate is not None
+    return spec, outcome

@@ -1,0 +1,383 @@
+"""Certificate tampering: every forgery is rejected, by name.
+
+The acceptance bar for the verifier: mutate each section of a real
+certificate — a message payload, a fragment bound, the message count,
+the claims — and the verifier must reject the artifact with the
+*correct named condition* as the first violated one, not merely "some
+check failed".
+
+Each mutator receives a deep copy of a genuine artifact's payload and
+edits it in place.  Mutators replace list entries with fresh dicts
+(``{**message, ...}``) rather than editing message records, because the
+encoder may alias one record between a sender's ``sent`` and the
+receiver's ``received`` — a mutation through an alias would tamper both
+sides consistently and test nothing.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.certify.verifier import verify_certificate
+
+
+def _canon(record):
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _witness_record(payload):
+    return payload["executions"][payload["witness"]["execution"]]
+
+
+def _first_sent(record, predicate=lambda message: True):
+    """Locate the first matching sent message: (fragment, index)."""
+    for behavior in record["behaviors"]:
+        for fragment in behavior["fragments"]:
+            for index, message in enumerate(fragment["sent"]):
+                if predicate(message):
+                    return fragment, index
+    raise AssertionError("fixture has no sent message matching the test")
+
+
+def _first_received(record, predicate=lambda message: True):
+    """Locate the first matching received message: (fragment, index)."""
+    for behavior in record["behaviors"]:
+        for fragment in behavior["fragments"]:
+            for index, message in enumerate(fragment["received"]):
+                if predicate(message):
+                    return fragment, index
+    raise AssertionError(
+        "fixture has no received message matching the test"
+    )
+
+
+# -- mutators: each edits one section of the payload in place ----------
+
+
+def schema_version(payload):
+    payload["schema"] = 99
+
+
+def missing_section(payload):
+    del payload["accounting"]
+
+
+def fault_budget(payload):
+    record = _witness_record(payload)
+    record["faulty"] = list(range(payload["claim"]["t"] + 1))
+
+
+def composition(payload):
+    _witness_record(payload)["behaviors"].pop()
+
+
+def state_identity(payload):
+    state = _witness_record(payload)["behaviors"][2]["fragments"][0][
+        "state"
+    ]
+    assert state["process"] == 2
+    state["process"] = 3
+
+
+def message_round(payload):
+    fragment, index = _first_sent(_witness_record(payload))
+    message = fragment["sent"][index]
+    fragment["sent"][index] = {**message, "round": message["round"] + 1}
+
+
+def duplicate_receiver(payload):
+    fragment, index = _first_sent(_witness_record(payload))
+    message = fragment["sent"][index]
+    fragment["sent"].append({**message, "payload": {"forged": True}})
+
+
+def self_message(payload):
+    fragment, index = _first_sent(_witness_record(payload))
+    message = fragment["sent"][index]
+    fragment["sent"][index] = {**message, "receiver": message["sender"]}
+
+
+def sender_side_payload(payload):
+    fragment, index = _first_sent(
+        _witness_record(payload),
+        lambda message: message["sender"] < message["receiver"],
+    )
+    message = fragment["sent"][index]
+    fragment["sent"][index] = {**message, "payload": {"forged": True}}
+
+
+def receiver_side_payload(payload):
+    fragment, index = _first_received(
+        _witness_record(payload),
+        lambda message: message["sender"] > message["receiver"],
+    )
+    message = fragment["received"][index]
+    fragment["received"][index] = {**message, "payload": {"forged": True}}
+
+
+def unreported_omission(payload):
+    record = _witness_record(payload)
+    faulty = set(record["faulty"])
+    fragment, index = _first_received(
+        record, lambda message: message["receiver"] not in faulty
+    )
+    fragment["receive_omitted"].append(fragment["received"].pop(index))
+
+
+def round_sequence(payload):
+    state = _witness_record(payload)["behaviors"][1]["fragments"][1][
+        "state"
+    ]
+    state["round"] = 99
+
+
+def unstable_proposal(payload):
+    state = _witness_record(payload)["behaviors"][1]["fragments"][1][
+        "state"
+    ]
+    state["proposal"] = {"forged": True}
+
+
+def predecided(payload):
+    state = _witness_record(payload)["behaviors"][1]["fragments"][0][
+        "state"
+    ]
+    assert state["decision"] is None
+    state["decision"] = {"forged": True}
+
+
+def final_state_round(payload):
+    _witness_record(payload)["behaviors"][1]["final_state"]["round"] = 99
+
+
+def isolation_group(payload):
+    claim = payload["isolation"][0]
+    record = payload["executions"][claim["execution"]]
+    correct = min(
+        pid
+        for pid in range(record["n"])
+        if pid not in set(record["faulty"])
+    )
+    claim["group"].append(correct)
+
+
+def indistinguishability_dangling(payload):
+    payload["indistinguishability"][0]["left"] = "ghost"
+
+
+def indistinguishability_semantic(payload):
+    # Un-deliver one message (both sides) in the witness execution only:
+    # every A.1.4/A.1.6 condition still holds, but the receiver's view
+    # no longer matches the pre-swap execution's.
+    record = _witness_record(payload)
+    for behavior in record["behaviors"]:
+        for fragment in behavior["fragments"]:
+            for index, message in enumerate(fragment["sent"]):
+                receiver = record["behaviors"][message["receiver"]]
+                target = receiver["fragments"][message["round"] - 1]
+                for other_index, other in enumerate(target["received"]):
+                    if _canon(other) == _canon(message):
+                        target["received"].pop(other_index)
+                        fragment["sent"].pop(index)
+                        return
+    raise AssertionError("fixture has no delivered message")
+
+
+def witness_dangling(payload):
+    payload["witness"]["execution"] = "ghost"
+
+
+def witness_kind(payload):
+    payload["witness"]["kind"] = "magic"
+
+
+def culprit_faulty(payload):
+    record = _witness_record(payload)
+    culprit = payload["witness"]["culprit"]
+    assert culprit not in record["faulty"]
+    assert len(record["faulty"]) < payload["claim"]["t"]
+    record["faulty"].append(culprit)
+
+
+def agreement_forged(payload):
+    # Rewrite the culprit's decisions (wherever written) to match the
+    # counterpart's, keeping A.1.5 write-once intact — the disagreement
+    # claim itself is the only thing that breaks.
+    witness = payload["witness"]
+    record = _witness_record(payload)
+    other = record["behaviors"][witness["counterpart"]]["final_state"][
+        "decision"
+    ]
+    assert other is not None
+    behavior = record["behaviors"][witness["culprit"]]
+    for fragment in behavior["fragments"]:
+        if fragment["state"]["decision"] is not None:
+            fragment["state"]["decision"] = other
+    behavior["final_state"]["decision"] = other
+
+
+def count_inflated(payload):
+    payload["accounting"]["per_execution"]["witness"] += 1
+
+
+def floor_lowered(payload):
+    payload["accounting"]["floor"] = 0.0
+
+
+def verdict_flip(payload):
+    payload["claim"]["verdict"] = "bound-respected"
+
+
+def provenance_op(payload):
+    payload["provenance"][0]["op"] = "conjure"
+
+
+def provenance_dangling(payload):
+    step = payload["provenance"][-1]
+    assert "result" in step
+    step["result"] = "ghost"
+
+
+MUTATIONS = [
+    (schema_version, "schema.version"),
+    (missing_section, "schema.structure"),
+    (fault_budget, "A.1.6.fault-budget"),
+    (composition, "A.1.6.composition"),
+    (state_identity, "A.1.4.state"),
+    (message_round, "A.1.4.round"),
+    (self_message, "A.1.4.no-self"),
+    (duplicate_receiver, "A.1.4.unique-receiver"),
+    (round_sequence, "A.1.5.round-sequence"),
+    (unstable_proposal, "A.1.5.stable-proposal"),
+    (predecided, "A.1.5.write-once-decision"),
+    (final_state_round, "A.1.5.final-state"),
+    (sender_side_payload, "A.1.6.send-validity"),
+    (receiver_side_payload, "A.1.6.receive-validity"),
+    (unreported_omission, "A.1.6.omission-validity"),
+    (isolation_group, "definition-1.isolation"),
+    (indistinguishability_dangling, "s3.indistinguishability"),
+    (indistinguishability_semantic, "s3.indistinguishability"),
+    (witness_dangling, "witness.reference"),
+    (witness_kind, "witness.reference"),
+    (culprit_faulty, "witness.culprit-correct"),
+    (agreement_forged, "witness.agreement"),
+    (count_inflated, "accounting.message-count"),
+    (floor_lowered, "accounting.floor"),
+    (verdict_flip, "accounting.verdict"),
+    (provenance_op, "provenance.reference"),
+    (provenance_dangling, "provenance.reference"),
+]
+
+
+class TestTamperingMatrix:
+    @pytest.mark.parametrize(
+        ("mutate", "condition"),
+        MUTATIONS,
+        ids=[mutate.__name__ for mutate, _ in MUTATIONS],
+    )
+    def test_mutation_rejected_with_named_condition(
+        self, violation_certificate, mutate, condition
+    ):
+        payload = copy.deepcopy(violation_certificate.payload)
+        mutate(payload)
+        report = verify_certificate(payload)
+        assert not report.ok
+        assert report.first.condition == condition
+        # The failure is located, not just named.
+        assert report.first.detail
+
+    def test_untampered_baseline_still_verifies(
+        self, violation_certificate
+    ):
+        # Guards the matrix against a fixture that was broken all along.
+        assert verify_certificate(
+            copy.deepcopy(violation_certificate.payload)
+        ).ok
+
+
+class TestBoundCertificateTampering:
+    def test_observed_count_inflated(self, bound_setup):
+        _, outcome = bound_setup
+        payload = copy.deepcopy(outcome.certificate.payload)
+        payload["accounting"]["observed"] += 7
+        report = verify_certificate(payload)
+        assert not report.ok
+        assert report.first.condition == "accounting.observed"
+
+    def test_verdict_forged_without_witness(self, bound_setup):
+        _, outcome = bound_setup
+        payload = copy.deepcopy(outcome.certificate.payload)
+        payload["claim"]["verdict"] = "violation"
+        report = verify_certificate(payload)
+        assert not report.ok
+        assert report.first.condition == "accounting.verdict"
+
+
+class TestReplayTampering:
+    def test_consistent_rewrite_caught_only_by_replay(
+        self, violation_setup
+    ):
+        """A forgery beyond structural reach: rewrite one delivered
+        message's payload consistently — sender and receiver sides, in
+        every embedded execution — so all A.1.4/A.1.6 cross-checks and
+        the indistinguishability claims still hold.  Only replaying the
+        algorithm (behavior condition 7) can notice the process never
+        sends that payload."""
+        spec, outcome = violation_setup
+        payload = copy.deepcopy(outcome.certificate.payload)
+        executions = payload["executions"]
+
+        # Pick a delivered message present in every execution, and a
+        # donor payload (another message's — hence codec-decodable)
+        # with a different value.
+        def canons(record, bucket):
+            return {
+                _canon(message)
+                for behavior in record["behaviors"]
+                for fragment in behavior["fragments"]
+                for message in fragment[bucket]
+            }
+
+        everywhere = set.intersection(
+            *(
+                canons(record, "sent") & canons(record, "received")
+                for record in executions.values()
+            )
+        )
+        assert everywhere, "fixture has no universally delivered message"
+        target = json.loads(sorted(everywhere)[0])
+        donor = None
+        for canon in sorted(canons(_witness_record(payload), "sent")):
+            candidate = json.loads(canon)
+            if _canon(candidate["payload"]) != _canon(target["payload"]):
+                donor = candidate["payload"]
+                break
+        assert donor is not None, "fixture messages are all identical"
+
+        target_canon = _canon(target)
+        rewritten = 0
+        for record in executions.values():
+            for behavior in record["behaviors"]:
+                for fragment in behavior["fragments"]:
+                    for bucket in (
+                        "sent",
+                        "received",
+                        "send_omitted",
+                        "receive_omitted",
+                    ):
+                        entries = fragment[bucket]
+                        for index, message in enumerate(entries):
+                            if _canon(message) == target_canon:
+                                entries[index] = {
+                                    **message,
+                                    "payload": donor,
+                                }
+                                rewritten += 1
+        assert rewritten >= 2 * len(executions)
+
+        structural = verify_certificate(payload)
+        assert structural.ok, structural.render()
+        replayed = verify_certificate(payload, factory=spec.factory)
+        assert not replayed.ok
+        assert replayed.first.condition == "A.1.5.transition-replay"

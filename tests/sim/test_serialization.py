@@ -85,6 +85,79 @@ class TestPayloadCodec:
             decode_payload({"k": "mystery"})
 
 
+class TestCanonicalEncoding:
+    """Regression: artifacts must be byte-identical across interpreters.
+
+    Set iteration order varies with hash randomization; the codec sorts
+    unordered collections by :func:`canonical_json` of their encoded
+    elements, so the rendering depends only on values.  Before that fix,
+    a tuple nested inside a frozenset could legally encode in different
+    element orders on different interpreters.
+    """
+
+    NESTED = "frozenset({('a', 1), ('b', 2), ('c', 3), (0, 9)})"
+
+    def test_construction_order_irrelevant(self):
+        forward = frozenset({("a", 1), ("b", 2), ("c", 3)})
+        backward = frozenset({("c", 3), ("b", 2), ("a", 1)})
+        assert encode_payload(forward) == encode_payload(backward)
+
+    def test_canonical_json_ignores_key_insertion_order(self):
+        from repro.sim.serialization import canonical_json
+
+        assert canonical_json({"k": "lit", "v": 1}) == canonical_json(
+            {"v": 1, "k": "lit"}
+        )
+
+    def test_nested_sets_sorted_by_value(self):
+        record = encode_payload(
+            frozenset({(2, frozenset({5, 6})), (1, frozenset({7}))})
+        )
+        # Sorted by canonical JSON of the encoded elements, so the
+        # (1, ...) tuple always precedes the (2, ...) tuple.
+        assert [entry["v"][0]["v"] for entry in record["v"]] == [1, 2]
+
+    @pytest.mark.parametrize("seed", ["0", "1", "2"])
+    def test_byte_identical_across_hash_seeds(self, seed, request):
+        """The same payload renders identically under every hash seed —
+        the property the old insertion-order sort key broke."""
+        import json as json_module
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        script = (
+            "import json\n"
+            "from repro.sim.serialization import ("
+            "canonical_json, encode_payload)\n"
+            f"value = (1, {self.NESTED}, b'\\x00')\n"
+            "print(canonical_json(encode_payload(value)))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            env={
+                "PYTHONPATH": src,
+                "PYTHONHASHSEED": seed,
+                "PATH": "/usr/bin:/bin",
+            },
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        rendering = completed.stdout.strip()
+        # In-process reference: same value, this interpreter's seed.
+        from repro.sim.serialization import canonical_json
+
+        expected = canonical_json(
+            encode_payload((1, eval(self.NESTED), b"\x00"))
+        )
+        assert rendering == expected
+        assert json_module.loads(rendering)  # stays valid JSON
+
+
 class TestExecutionRoundtrip:
     def test_phase_king_execution(self):
         spec = phase_king_spec(4, 1)

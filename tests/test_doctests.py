@@ -1,0 +1,34 @@
+"""Tier-1 doctest runner for the documented-example modules.
+
+The modules whose docstrings carry worked examples (the certificate
+layer, the canonical codec, the bound arithmetic) are executed here so
+the examples can never rot.  CI additionally runs ``pytest
+--doctest-modules`` over the same modules; this in-suite runner keeps
+the guarantee inside the plain tier-1 invocation too.
+"""
+
+import doctest
+
+import pytest
+
+import repro.certify.format
+import repro.certify.verifier
+import repro.lowerbound.bound
+import repro.sim.serialization
+
+DOCUMENTED_MODULES = [
+    repro.certify.format,
+    repro.certify.verifier,
+    repro.lowerbound.bound,
+    repro.sim.serialization,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    # Zero attempted would mean the examples silently vanished.
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

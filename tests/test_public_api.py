@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.reductions",
     "repro.protocols",
     "repro.analysis",
+    "repro.certify",
 ]
 
 
