@@ -135,3 +135,27 @@ def bench_driver_attack_reuse_free(benchmark):
         )
     )
     assert outcome.found_violation
+
+
+def bench_driver_attack_traced(benchmark):
+    """The reuse-on attack with a live ledger tracer attached.
+
+    The delta against ``bench_driver_attack_with_reuse`` is the full
+    observability cost: per-phase spans, one event per simulated round
+    and the end-of-pipeline metrics flush.  The no-op default is
+    covered by ``bench_driver_attack_with_reuse`` itself — an untraced
+    driver builds no telemetry machinery at all.
+    """
+    from repro.obs.ledger import RunLedger
+    from repro.obs.tracer import LedgerTracer
+
+    def traced():
+        ledger = RunLedger()
+        outcome = attack_weak_consensus(
+            ring_token_spec(12, 8), tracer=LedgerTracer(ledger)
+        )
+        return outcome, ledger
+
+    outcome, ledger = benchmark(traced)
+    assert outcome.found_violation
+    assert len(ledger) > 0

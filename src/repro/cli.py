@@ -11,6 +11,17 @@ Subcommands:
 * ``verify-cert`` — independently verify saved certificate artifacts;
   exit 1 with the first violated condition named on rejection.
 * ``classify`` — classify a named standard problem at ``(n, t)``.
+* ``trace`` — render a persisted run ledger as a phase-tree timeline.
+* ``report --trend`` — append a canary perf point to the trend log and
+  diff it against the previous point.
+
+Stream discipline: *results* (experiment reports, attack renders, sweep
+tables, verdicts, trace timelines) go to stdout; *diagnostics* (the
+``--log`` narrative, profile/timing tables, "written to" notices,
+rejection details, errors) go to stderr, so piped output stays clean.
+Every failure path exits nonzero: ``1`` for domain failures (violated
+expectations, rejected artifacts, sweep-cell errors), ``2`` for
+environment failures (unreadable or unwritable files).
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.errors import ReproError
 from repro.experiments import ALL_EXPERIMENTS, CHEATERS
 from repro.lowerbound.driver import attack_weak_consensus
 from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
@@ -60,6 +72,22 @@ def _sweepable_builders():
 _SWEEPABLE = _sweepable_builders()
 
 
+def _info(message: str) -> None:
+    """Print one diagnostic line to stderr (stdout stays machine-clean)."""
+    print(message, file=sys.stderr)
+
+
+def _ledger_option(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help=(
+            "write the run's structured event ledger (JSONL) to PATH; "
+            "render it with 'repro trace PATH'"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -71,9 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for experiment_id in ALL_EXPERIMENTS:
-        subparsers.add_parser(
+        experiment = subparsers.add_parser(
             experiment_id, help=f"run experiment {experiment_id.upper()}"
         )
+        if experiment_id in ("e3", "e7"):
+            experiment.add_argument(
+                "--jobs",
+                type=int,
+                default=1,
+                help=(
+                    "worker processes for the sweep matrix (default: "
+                    "serial, bit-identical to --jobs 1)"
+                ),
+            )
+            _ledger_option(experiment)
     all_parser = subparsers.add_parser(
         "all", help="run every experiment"
     )
@@ -86,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
             "serial, bit-identical to --jobs 1)"
         ),
     )
+    _ledger_option(all_parser)
 
     attack = subparsers.add_parser(
         "attack", help="run the lower-bound attack on a protocol"
@@ -123,8 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--profile",
         action="store_true",
-        help="print wall-clock phase and per-round timings",
+        help=(
+            "print wall-clock phase and per-round timings (to stderr)"
+        ),
     )
+    _ledger_option(attack)
 
     verify = subparsers.add_parser(
         "verify-witness",
@@ -232,7 +275,63 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--timings",
         action="store_true",
-        help="also print the per-cell wall-time/accounting table",
+        help=(
+            "also print the per-cell wall-time/accounting table "
+            "(to stderr)"
+        ),
+    )
+    _ledger_option(sweep_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="render a persisted run ledger as a phase-tree timeline",
+    )
+    trace_parser.add_argument(
+        "path", help="run ledger JSONL file (written via --ledger)"
+    )
+    trace_parser.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many slowest rounds to list (default: 5)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help=(
+            "append a canary perf point to the trend log and diff it "
+            "against the previous one"
+        ),
+    )
+    report_parser.add_argument(
+        "--trend",
+        action="store_true",
+        required=True,
+        help="record a trend point (the only report mode, for now)",
+    )
+    report_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trend log to append to "
+            "(default: benchmarks/reports/trend.jsonl)"
+        ),
+    )
+    report_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help=(
+            "flag wall-clock regressions beyond this fraction "
+            "(default: 0.2 = 20%%)"
+        ),
+    )
+    report_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when a regression is flagged",
     )
     return parser
 
@@ -248,42 +347,98 @@ def _resolve_protocol(name: str, n: int, t: int):
     return CHEATERS[name](n, t)
 
 
+def _make_ledger(path: str | None):
+    """A fresh :class:`RunLedger` when ``--ledger`` was given."""
+    if not path:
+        return None
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger()
+
+
+def _write_ledger(ledger, path: str | None) -> None:
+    """Persist and announce a run ledger (diagnostic, so stderr)."""
+    if ledger is None or not path:
+        return
+    ledger.write(path)
+    _info(f"run ledger written to {path} ({len(ledger)} events)")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: ``0`` success, ``1`` domain failure (an unexpected
+    verdict, a rejected artifact, failed sweep cells, a flagged
+    regression under ``--strict``), ``2`` environment failure (a file
+    that cannot be read or written).
+    """
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except OSError as error:
+        _info(f"error: {error}")
+        return 2
+    except (ReproError, RuntimeError) as error:
+        _info(f"error: {error}")
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ALL_EXPERIMENTS:
-        print(ALL_EXPERIMENTS[args.command]().report)
+        runner = ALL_EXPERIMENTS[args.command]
+        kwargs = {}
+        if getattr(args, "jobs", 1) != 1:
+            kwargs["jobs"] = args.jobs
+        ledger = _make_ledger(getattr(args, "ledger", None))
+        if ledger is not None:
+            kwargs["ledger"] = ledger
+        print(runner(**kwargs).report)
+        _write_ledger(ledger, getattr(args, "ledger", None))
         return 0
     if args.command == "all":
         import inspect
 
+        ledger = _make_ledger(args.ledger)
         for experiment_id, runner in ALL_EXPERIMENTS.items():
-            # Sweep-shaped experiments accept a worker count; the rest
-            # run as before.
-            if "jobs" in inspect.signature(runner).parameters:
-                print(runner(jobs=args.jobs).report)
-            else:
-                print(runner().report)
+            # Sweep-shaped experiments accept a worker count and a
+            # ledger; the rest run as before.
+            parameters = inspect.signature(runner).parameters
+            kwargs = {}
+            if "jobs" in parameters:
+                kwargs["jobs"] = args.jobs
+            if ledger is not None and "ledger" in parameters:
+                kwargs["ledger"] = ledger
+            print(runner(**kwargs).report)
             print()
+        _write_ledger(ledger, args.ledger)
         return 0
     if args.command == "attack":
+        from repro.obs.tracer import NULL_TRACER, LedgerTracer
+
+        ledger = _make_ledger(args.ledger)
+        tracer = (
+            LedgerTracer(ledger) if ledger is not None else NULL_TRACER
+        )
         spec = _resolve_protocol(args.protocol, args.n, args.t)
         outcome = attack_weak_consensus(
             spec,
             check=not args.no_check,
             early_stop=args.early_stop,
             profile=args.profile,
+            tracer=tracer,
         )
-        print(outcome.render())
+        print(outcome.render(profile=False))
+        if outcome.profile is not None:
+            _info(outcome.profile.render())
         if args.log:
-            print()
-            print("\n".join(outcome.log))
+            _info("\n".join(outcome.log))
         if args.save and outcome.witness is not None:
             from repro.sim.serialization import dump_witness
 
             with open(args.save, "w") as handle:
                 handle.write(dump_witness(outcome.witness))
-            print(f"witness written to {args.save}")
+            _info(f"witness written to {args.save}")
+        _write_ledger(ledger, args.ledger)
         expected_violation = args.protocol in CHEATERS
         return 0 if outcome.found_violation == expected_violation else 1
     if args.command == "verify-witness":
@@ -297,7 +452,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             verify_witness(witness, spec.factory)
         except ModelViolation as error:
-            print(f"REJECTED: {error}")
+            _info(f"REJECTED: {error}")
             return 1
         print(f"VERIFIED: {witness.summary()}")
         return 0
@@ -327,7 +482,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
                 with open(path, "wb") as handle:
                     handle.write(cell.result.certificate)
-                print(f"{path}: written (verified in gather)")
+                _info(f"{path}: written (verified in gather)")
             print(
                 f"{report.certificates_verified} certificate(s) in "
                 f"{out_dir}/, each independently verified"
@@ -345,7 +500,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             handle.write(certificate.to_bytes())
         print(outcome.render())
         print(verdict.render())
-        print(f"certificate written to {path}")
+        _info(f"certificate written to {path}")
         return 0 if verdict.ok else 1
     if args.command == "verify-cert":
         import json
@@ -383,7 +538,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             ]
         else:
             grid = quadratic_parameter_grid(args.max_t)
-        report = SweepScheduler(jobs=args.jobs).run(
+        ledger = _make_ledger(args.ledger)
+        report = SweepScheduler(jobs=args.jobs, ledger=ledger).run(
             MeasureJob(builder=args.protocol, n=n, t=t)
             for n, t in grid
         )
@@ -391,12 +547,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         points = report.values()
         print(render_sweep(points))
         if args.timings:
-            print()
-            print(report.render())
+            _info(report.render())
+        _write_ledger(ledger, args.ledger)
         try:
             print(f"fit: {fit_sweep(points).render()}")
         except ValueError:
-            print("fit: insufficient non-zero samples")
+            _info("fit: insufficient non-zero samples")
+        return 0
+    if args.command == "trace":
+        from repro.obs.ledger import read_events
+        from repro.obs.report import render_trace
+
+        events = read_events(args.path)
+        print(render_trace(events, slowest=args.slowest))
+        return 0
+    if args.command == "report":
+        from repro.obs.report import (
+            TREND_PATH,
+            append_trend,
+            trend_point,
+        )
+
+        out = args.out or TREND_PATH
+        _info("running the trend canary (ring-token, n=12, t=8)...")
+        point = trend_point()
+        delta = append_trend(out, point, threshold=args.threshold)
+        print(delta.render())
+        _info(f"trend point appended to {out}")
+        if args.strict and not delta.ok:
+            return 1
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 

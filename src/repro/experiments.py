@@ -20,7 +20,7 @@ from repro.analysis.complexity import (
 from repro.analysis.fitting import fit_sweep
 from repro.analysis.tables import render_kv, render_sweep, render_table
 from repro.lowerbound.bound import weak_consensus_floor
-from repro.lowerbound.driver import AttackOutcome, attack_weak_consensus
+from repro.lowerbound.driver import AttackOutcome
 from repro.lowerbound.partition import canonical_partition
 from repro.omission.indistinguishability import divergence_profile
 from repro.omission.isolation import isolate_group
@@ -186,7 +186,10 @@ CHEATERS: dict[str, Callable[[int, int], ProtocolSpec]] = {
 
 
 def run_e3(
-    ts: tuple[int, ...] = (8, 16, 24), *, jobs: int = 1
+    ts: tuple[int, ...] = (8, 16, 24),
+    *,
+    jobs: int = 1,
+    ledger: "Any | None" = None,
 ) -> ExperimentResult:
     """E3 — Lemmas 2–5: break every sub-quadratic cheater, every t.
 
@@ -195,6 +198,9 @@ def run_e3(
             runs the historical in-process sweep, ``> 1`` fans the cells
             out over a process pool (bit-identical outcomes — see
             :mod:`repro.parallel`).
+        ledger: optional sweep :class:`~repro.obs.ledger.RunLedger`; the
+            scheduler traces every cell into it and splices the segments
+            in cell order, identically under either backend.
     """
     from repro.parallel import AttackJob, SweepScheduler
 
@@ -203,7 +209,7 @@ def run_e3(
         for name in CHEATERS
         for t in ts
     ]
-    sweep_report = SweepScheduler(jobs=jobs).run(matrix)
+    sweep_report = SweepScheduler(jobs=jobs, ledger=ledger).run(matrix)
     sweep_report.raise_errors()
     outcomes: list[AttackOutcome] = sweep_report.values()
     rows = []
@@ -423,12 +429,16 @@ def run_e6(max_n: int = 7) -> ExperimentResult:
     )
 
 
-def run_e7(max_t: int = 8, *, jobs: int = 1) -> ExperimentResult:
+def run_e7(
+    max_t: int = 8, *, jobs: int = 1, ledger: "Any | None" = None
+) -> ExperimentResult:
     """E7 — Dolev–Reischuk context: measured protocol complexities.
 
     Args:
         jobs: worker count for the measurement matrix (``1`` = serial;
             ``> 1`` fans cells out over a process pool, bit-identical).
+        ledger: optional sweep :class:`~repro.obs.ledger.RunLedger` the
+            scheduler splices every cell's trace into.
     """
     from repro.parallel import MeasureJob, SweepScheduler
 
@@ -456,7 +466,7 @@ def run_e7(max_t: int = 8, *, jobs: int = 1) -> ExperimentResult:
         for builder, grid in grids.values()
         for n, t in grid
     ]
-    sweep_report = SweepScheduler(jobs=jobs).run(matrix)
+    sweep_report = SweepScheduler(jobs=jobs, ledger=ledger).run(matrix)
     sweep_report.raise_errors()
     points_iter = iter(sweep_report.values())
     all_points: dict[str, list[SweepPoint]] = {}

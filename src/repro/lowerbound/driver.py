@@ -47,15 +47,17 @@ the engine counters in :class:`AttackOutcome` report the savings.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
     from repro.certify.format import Certificate
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.errors import ModelViolation, ReproError
-from repro.lowerbound.bound import BoundComparison
+from repro.lowerbound.bound import BoundComparison, weak_consensus_floor
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.lowerbound.partition import ABCPartition, canonical_partition
 from repro.lowerbound.witnesses import (
     ViolationKind,
@@ -237,8 +239,14 @@ class AttackOutcome:
         """Whether the candidate was broken."""
         return self.witness is not None
 
-    def render(self) -> str:
-        """A short report block."""
+    def render(self, profile: bool = True) -> str:
+        """A short report block.
+
+        Args:
+            profile: include the wall-clock profile block (callers that
+                route timings to a diagnostic stream pass ``False`` and
+                render ``self.profile`` separately).
+        """
         lines = [
             f"attack on {self.protocol} (n={self.n}, t={self.t}; "
             f"{self.partition.describe()})",
@@ -263,7 +271,7 @@ class AttackOutcome:
                 f"{len(self.certificate.execution_labels)} execution(s) "
                 "embedded"
             )
-        if self.profile is not None:
+        if profile and self.profile is not None:
             lines.extend(
                 "  " + line for line in self.profile.render().splitlines()
             )
@@ -302,6 +310,13 @@ class LowerBoundDriver:
             :class:`~repro.parallel.profiling.ProfilingObserver` on every
             engine run plus per-phase driver spans — surfaced as
             ``AttackOutcome.profile``.
+        tracer: the structured-telemetry sink (default: the shared
+            zero-overhead :data:`~repro.obs.tracer.NULL_TRACER`).  A
+            live :class:`~repro.obs.tracer.LedgerTracer` receives every
+            pipeline phase as a span, every simulated round as an
+            ``engine.round`` event with message-count attributes, and
+            the final cache/bound counters — the run-ledger view of the
+            attack.  Telemetry never affects outcomes.
         certify: package the outcome as a portable v1 attack
             certificate (``AttackOutcome.certificate``): the pipeline
             records which configuration produced each trace and which
@@ -319,8 +334,11 @@ class LowerBoundDriver:
     cache: ExecutionCache | None = None
     profile: bool = False
     certify: bool = False
+    tracer: Tracer = NULL_TRACER
     _phase_timer: PhaseTimer | None = field(default=None, repr=False)
     _profiler: ProfilingObserver | None = field(default=None, repr=False)
+    _metrics: "MetricsRegistry | None" = field(default=None, repr=False)
+    _trace_observers: tuple = field(default=(), repr=False)
     _log: list[str] = field(default_factory=list, repr=False)
     _max_messages: int = field(default=0, repr=False)
     _requested: set = field(default_factory=set, repr=False)
@@ -352,6 +370,14 @@ class LowerBoundDriver:
         if self.profile:
             self._phase_timer = PhaseTimer()
             self._profiler = ProfilingObserver()
+        if self.tracer.enabled:
+            from repro.obs.metrics import MetricsRegistry
+
+            self._metrics = MetricsRegistry()
+            self._trace_observers = self.tracer.round_observers(
+                floor=weak_consensus_floor(self.spec.t),
+                metrics=self._metrics,
+            )
         self._spec_key: _SpecKey = (
             self.spec.name,
             self.spec.n,
@@ -361,6 +387,15 @@ class LowerBoundDriver:
 
     def attack(self) -> AttackOutcome:
         """Run the full pipeline; always returns (never raises _Found)."""
+        with self.tracer.span(
+            "attack",
+            protocol=self.spec.name,
+            n=self.spec.n,
+            t=self.spec.t,
+        ):
+            return self._attack()
+
+    def _attack(self) -> AttackOutcome:
         witness: ViolationWitness | None = None
         default_bit: Payload | None = None
         critical_round: Round | None = None
@@ -408,6 +443,7 @@ class LowerBoundDriver:
                 f"{len(certificate.execution_labels)} execution(s) "
                 "embedded"
             )
+        self._flush_telemetry(witness)
         return AttackOutcome(
             protocol=self.spec.name,
             n=self.spec.n,
@@ -675,7 +711,8 @@ class LowerBoundDriver:
         )
         for pid in candidates:
             try:
-                swapped = swap_omission_checked(execution, pid)
+                with self._phase("swap"):
+                    swapped = swap_omission_checked(execution, pid)
             except ModelViolation as error:
                 self._note(
                     f"extraction via p{pid} failed: {error} "
@@ -866,8 +903,7 @@ class LowerBoundDriver:
         if self.reuse:
             checkpointer = MachineCheckpointer()
             observers.append(checkpointer)
-        if self._profiler is not None:
-            observers.append(self._profiler)
+        observers.extend(self._engine_observers())
         execution = self.spec.run_uniform(
             bit, None, check=self.check, observers=observers
         )
@@ -971,9 +1007,7 @@ class LowerBoundDriver:
                 adversary,
                 prefix,
                 from_round,
-                observers=(
-                    () if self._profiler is None else (self._profiler,)
-                ),
+                observers=self._engine_observers(),
             )
             self._rounds_simulated += horizon - from_round + 1
             self._prefix_rounds_skipped += from_round - 1
@@ -986,8 +1020,7 @@ class LowerBoundDriver:
         observers: list[RoundObserver] = [streaming]
         if self.early_stop and not full:
             observers.append(EarlyStopPolicy(scope="all"))
-        if self._profiler is not None:
-            observers.append(self._profiler)
+        observers.extend(self._engine_observers())
         execution = self.spec.run_uniform(
             bit, adversary, check=self.check, observers=observers
         )
@@ -1006,10 +1039,56 @@ class LowerBoundDriver:
         return execution
 
     def _phase(self, name: str):
-        """A timing span for ``name`` — a no-op unless profiling."""
-        if self._phase_timer is None:
+        """A span for ``name`` — timed and/or traced, no-op otherwise."""
+        if self._phase_timer is None and not self.tracer.enabled:
             return nullcontext()
-        return self._phase_timer.phase(name)
+        if self._phase_timer is None:
+            return self.tracer.span(name)
+        if not self.tracer.enabled:
+            return self._phase_timer.phase(name)
+        stack = ExitStack()
+        stack.enter_context(self._phase_timer.phase(name))
+        stack.enter_context(self.tracer.span(name))
+        return stack
+
+    def _engine_observers(self) -> tuple[RoundObserver, ...]:
+        """The telemetry observers attached to every engine run.
+
+        The tracing observers come before the profiler so profiled
+        round times keep their historical meaning (simulation plus the
+        checking observers, not the telemetry cost).
+        """
+        extra: tuple[RoundObserver, ...] = self._trace_observers
+        if self._profiler is not None:
+            extra = (*extra, self._profiler)
+        return extra
+
+    def _flush_telemetry(self, witness: ViolationWitness | None) -> None:
+        """Fold the pipeline's final counters into the metrics/ledger."""
+        if self._metrics is None:
+            return
+        assert self.cache is not None
+        registry = self._metrics
+        registry.absorb_cache(self.cache)
+        registry.counter("engine.rounds_simulated").add(
+            self._rounds_simulated
+        )
+        registry.counter("engine.rounds_baseline").add(
+            self._rounds_baseline
+        )
+        registry.counter("engine.prefix_rounds_skipped").add(
+            self._prefix_rounds_skipped
+        )
+        registry.counter("engine.early_stops").add(self._early_stops)
+        registry.counter("witness.found").add(1 if witness else 0)
+        floor = weak_consensus_floor(self.spec.t)
+        registry.gauge("bound.observed").set(self._max_messages)
+        registry.gauge("bound.floor").set(floor)
+        if floor:
+            registry.gauge("bound.vs_floor").set(
+                self._max_messages / floor
+            )
+        registry.emit(self.tracer)
 
     def _group(self, label: str) -> frozenset[ProcessId]:
         assert self.partition is not None
@@ -1195,6 +1274,7 @@ def attack_weak_consensus(
     cache: ExecutionCache | None = None,
     profile: bool = False,
     certify: bool = False,
+    tracer: Tracer = NULL_TRACER,
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
 
@@ -1219,6 +1299,9 @@ def attack_weak_consensus(
             merge/swap provenance, the isolation and
             indistinguishability claims, and the ``t²/32`` accounting
             for :func:`repro.certify.verifier.verify_certificate`.
+        tracer: the structured-telemetry sink (a
+            :class:`~repro.obs.tracer.LedgerTracer` to record the run
+            ledger; the zero-overhead no-op by default).
     """
     driver = LowerBoundDriver(
         spec=spec,
@@ -1230,6 +1313,7 @@ def attack_weak_consensus(
         cache=cache,
         profile=profile,
         certify=certify,
+        tracer=tracer,
     )
     outcome = driver.attack()
     if minimize and outcome.witness is not None:

@@ -1,0 +1,401 @@
+"""Human rendering of run ledgers and the performance trend log.
+
+Two consumers of the :mod:`repro.obs.ledger` event stream:
+
+* :func:`render_trace` — the ``repro trace <ledger>`` timeline: the
+  span tree with accumulated durations, the slowest simulated rounds,
+  the per-round message-count series, the cache hit rate and the
+  observed messages-vs-``t²/32`` ratio, plus a per-cell table for sweep
+  ledgers.
+* the trend log — ``repro report --trend`` runs a fixed canary attack
+  (ring-token at the bench regime), distills its ledger into one
+  :func:`trend_point`, appends it to ``benchmarks/reports/trend.jsonl``
+  and diffs it against the previous point
+  (:func:`append_trend`), flagging wall-clock regressions beyond the
+  threshold and *any* drift in the deterministic counters (rounds
+  simulated, events, observed messages — those must not move without a
+  code change that intends it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.obs.ledger import LedgerEvent
+
+TREND_PATH = os.path.join("benchmarks", "reports", "trend.jsonl")
+"""Where the repository's perf trajectory accumulates."""
+
+_DETERMINISTIC_KEYS = ("rounds_simulated", "events", "messages_observed")
+
+
+# ----------------------------------------------------------------------
+# trace rendering
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SpanNode:
+    """One aggregated node of the span tree."""
+
+    name: str
+    seconds: float = 0.0
+    count: int = 0
+    children: dict[str, "_SpanNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "_SpanNode":
+        if name not in self.children:
+            self.children[name] = _SpanNode(name)
+        return self.children[name]
+
+
+def build_span_tree(events: Sequence[LedgerEvent]) -> _SpanNode:
+    """Aggregate paired span events into one tree.
+
+    Spans are paired per ``(worker_id, cell_id)`` stream (timestamps are
+    only comparable within one stream); same-named spans at the same
+    nesting depth accumulate duration and count across streams.
+    """
+    root = _SpanNode("")
+    stacks: dict[tuple[int, str | None], list[tuple[_SpanNode, float]]] = {}
+    for event in events:
+        stream = (event.worker_id, event.cell_id)
+        stack = stacks.setdefault(stream, [])
+        if event.kind == "span-start":
+            parent = stack[-1][0] if stack else root
+            stack.append((parent.child(event.name), event.ts))
+        elif event.kind == "span-end":
+            while stack:
+                node, started = stack.pop()
+                if node.name == event.name:
+                    node.seconds += event.ts - started
+                    node.count += 1
+                    break
+    return root
+
+
+def _render_tree(node: _SpanNode, depth: int, lines: list[str]) -> None:
+    for child in node.children.values():
+        suffix = f" ×{child.count}" if child.count > 1 else ""
+        lines.append(
+            f"{'  ' * depth}{child.name:<18} "
+            f"{child.seconds * 1e3:9.2f} ms{suffix}"
+        )
+        _render_tree(child, depth + 1, lines)
+
+
+def _round_events(
+    events: Sequence[LedgerEvent],
+) -> list[LedgerEvent]:
+    return [
+        event
+        for event in events
+        if event.kind == "counter" and event.name == "engine.round"
+    ]
+
+
+def _counter_total(events: Sequence[LedgerEvent], name: str) -> float:
+    return sum(
+        event.value or 0
+        for event in events
+        if event.kind == "counter" and event.name == name
+    )
+
+
+def _last_gauge(
+    events: Sequence[LedgerEvent], name: str
+) -> LedgerEvent | None:
+    found = None
+    for event in events:
+        if event.kind == "gauge" and event.name == name:
+            found = event
+    return found
+
+
+def cache_hit_rate(events: Sequence[LedgerEvent]) -> float | None:
+    """``(hits + alias_hits) / lookups`` over the whole ledger."""
+    hits = _counter_total(events, "cache.hits")
+    alias = _counter_total(events, "cache.alias_hits")
+    misses = _counter_total(events, "cache.misses")
+    lookups = hits + alias + misses
+    if not lookups:
+        return None
+    return (hits + alias) / lookups
+
+
+def render_trace(
+    events: Sequence[LedgerEvent], slowest: int = 5
+) -> str:
+    """The human timeline of one persisted run ledger."""
+    from repro.analysis.tables import render_table
+
+    lines: list[str] = []
+    run_ids = sorted({event.run_id for event in events})
+    workers = sorted({event.worker_id for event in events})
+    cells = sorted(
+        {
+            event.cell_id
+            for event in events
+            if event.cell_id is not None
+        }
+    )
+    lines.append(
+        f"run {', '.join(run_ids) or '-'}: {len(events)} events, "
+        f"{len(workers)} worker(s), {len(cells)} cell(s)"
+    )
+
+    tree = build_span_tree(events)
+    if tree.children:
+        lines.append("")
+        lines.append("phase tree (accumulated wall time):")
+        _render_tree(tree, 1, lines)
+
+    rounds = _round_events(events)
+    if rounds:
+        lines.append("")
+        per_round: dict[int, int] = {}
+        for event in rounds:
+            index = int(event.attr("round", 0))
+            per_round[index] = per_round.get(index, 0) + int(
+                event.value or 0
+            )
+        lines.append(
+            f"rounds simulated: {len(rounds)}; correct-sender "
+            "messages per round index:"
+        )
+        lines.append(
+            render_table(
+                ("round", "messages"),
+                [(index, per_round[index]) for index in sorted(per_round)],
+            )
+        )
+        ranked = sorted(
+            rounds,
+            key=lambda event: event.attr("seconds", 0.0),
+            reverse=True,
+        )[:slowest]
+        lines.append(f"slowest {len(ranked)} rounds:")
+        lines.append(
+            render_table(
+                ("cell", "run", "round", "wall us", "messages"),
+                [
+                    (
+                        event.cell_id or "-",
+                        event.attr("run", "-"),
+                        event.attr("round", "-"),
+                        f"{event.attr('seconds', 0.0) * 1e6:.1f}",
+                        event.value,
+                    )
+                    for event in ranked
+                ],
+            )
+        )
+
+    rate = cache_hit_rate(events)
+    if rate is not None:
+        lines.append(
+            f"cache hit rate: {rate * 100:.1f}% "
+            f"({_counter_total(events, 'cache.hits'):.0f} hits, "
+            f"{_counter_total(events, 'cache.alias_hits'):.0f} alias, "
+            f"{_counter_total(events, 'cache.misses'):.0f} misses)"
+        )
+
+    ratio = _last_gauge(events, "bound.vs_floor")
+    observed = _last_gauge(events, "bound.observed")
+    floor = _last_gauge(events, "bound.floor")
+    if ratio is not None:
+        detail = ""
+        if observed is not None and floor is not None:
+            detail = (
+                f" ({observed.value:.0f} messages vs "
+                f"t²/32 = {floor.value:.1f})"
+            )
+        lines.append(
+            f"messages / (t²/32): {ratio.value:.3f}{detail}"
+        )
+
+    if cells:
+        lines.append("")
+        lines.append("per-cell summary:")
+        rows = []
+        for cell in cells:
+            cell_events = [
+                event for event in events if event.cell_id == cell
+            ]
+            wall = _last_gauge(cell_events, "cell.wall_seconds")
+            errors = _counter_total(cell_events, "cell.error")
+            artifacts = sum(
+                1
+                for event in cell_events
+                if event.kind == "artifact"
+            )
+            rows.append(
+                (
+                    cell,
+                    f"{wall.value * 1e3:.1f}" if wall else "-",
+                    len(cell_events),
+                    artifacts,
+                    "ERROR" if errors else "ok",
+                )
+            )
+        lines.append(
+            render_table(
+                ("cell", "wall ms", "events", "artifacts", "status"),
+                rows,
+            )
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trend reporting
+# ----------------------------------------------------------------------
+
+
+def trend_point(label: str = "attack/ring-token/n12/t8") -> dict[str, Any]:
+    """Run the canary attack and distill its ledger into one point.
+
+    The canary is the bench-suite regime (ring-token at ``n=12, t=8``,
+    reuse on): small enough for CI, heavy enough that the cache, the
+    scan and the merge all run.  Deterministic fields
+    (``rounds_simulated``, ``events``, ``messages_observed``) move only
+    when the pipeline's behavior changes; ``wall_seconds`` tracks speed.
+    """
+    from repro.lowerbound.driver import attack_weak_consensus
+    from repro.obs.ledger import RunLedger
+    from repro.obs.tracer import LedgerTracer
+    from repro.protocols.subquadratic import ring_token_spec
+
+    ledger = RunLedger()
+    begin = time.perf_counter()
+    outcome = attack_weak_consensus(
+        ring_token_spec(12, 8), tracer=LedgerTracer(ledger)
+    )
+    wall = time.perf_counter() - begin
+    rate = cache_hit_rate(ledger.events)
+    return {
+        "ts": time.time(),
+        "label": label,
+        "wall_seconds": wall,
+        "rounds_simulated": outcome.rounds_simulated,
+        "rounds_baseline": outcome.rounds_baseline,
+        "messages_observed": outcome.bound.observed,
+        "events": len(ledger.events),
+        "cache_hit_rate": rate,
+        "violation": outcome.found_violation,
+    }
+
+
+@dataclass(frozen=True)
+class TrendDelta:
+    """The appended point, its predecessor, and the comparison verdict."""
+
+    point: dict[str, Any]
+    previous: dict[str, Any] | None
+    regressions: tuple[str, ...]
+    notes: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether no wall-clock regression was flagged."""
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"trend point: {self.point['label']} "
+            f"wall={self.point['wall_seconds'] * 1e3:.1f} ms "
+            f"rounds={self.point['rounds_simulated']} "
+            f"events={self.point['events']}"
+        ]
+        if self.previous is None:
+            lines.append("first recorded point — nothing to diff against")
+        else:
+            previous_wall = self.previous.get("wall_seconds", 0.0)
+            if previous_wall:
+                change = (
+                    self.point["wall_seconds"] / previous_wall - 1.0
+                ) * 100
+                lines.append(
+                    f"wall vs previous: {change:+.1f}% "
+                    f"({previous_wall * 1e3:.1f} ms before)"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for regression in self.regressions:
+            lines.append(f"REGRESSION: {regression}")
+        return "\n".join(lines)
+
+
+def read_trend(path: str) -> list[dict[str, Any]]:
+    """Every recorded trend point (empty when the log doesn't exist)."""
+    if not os.path.exists(path):
+        return []
+    points = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                points.append(json.loads(line))
+    return points
+
+
+def append_trend(
+    path: str,
+    point: dict[str, Any],
+    threshold: float = 0.2,
+) -> TrendDelta:
+    """Append ``point`` to the trend log and diff it against the last.
+
+    A ``wall_seconds`` increase beyond ``threshold`` (default 20%) is a
+    flagged regression; any change in the deterministic counters is
+    surfaced as a note (it signals a behavior change, not noise).
+    """
+    history = read_trend(path)
+    previous = history[-1] if history else None
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(point))
+        handle.write("\n")
+    regressions: list[str] = []
+    notes: list[str] = []
+    if previous is not None:
+        previous_wall = previous.get("wall_seconds") or 0.0
+        if (
+            previous_wall
+            and point["wall_seconds"] > previous_wall * (1 + threshold)
+        ):
+            regressions.append(
+                f"wall_seconds {point['wall_seconds']:.4f} is "
+                f"{(point['wall_seconds'] / previous_wall - 1) * 100:.0f}%"
+                f" above the previous {previous_wall:.4f} "
+                f"(threshold {threshold * 100:.0f}%)"
+            )
+        for key in _DETERMINISTIC_KEYS:
+            if key in previous and previous[key] != point.get(key):
+                notes.append(
+                    f"{key} changed {previous[key]!r} -> "
+                    f"{point.get(key)!r}"
+                )
+    return TrendDelta(
+        point=point,
+        previous=previous,
+        regressions=tuple(regressions),
+        notes=tuple(notes),
+    )
+
+
+def events_from(
+    source: "Iterable[LedgerEvent] | str",
+) -> list[LedgerEvent]:
+    """Events from a ledger path or an in-memory event iterable."""
+    if isinstance(source, str):
+        from repro.obs.ledger import read_events
+
+        return read_events(source)
+    return list(source)

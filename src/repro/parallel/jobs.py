@@ -23,15 +23,26 @@ Job types:
 Everything a job returns is wrapped in a :class:`JobResult` so the
 scheduler can account wall time, cache counters and engine round counts
 uniformly across job kinds.
+
+With ``ledger=True`` a job additionally traces itself into a private
+:class:`~repro.obs.ledger.RunLedger` and ships the resulting event
+segment home as picklable tuples (``JobResult.events``); the scheduler
+splices the segments into one ordered sweep ledger at gather.  Both
+backends run this exact code path, so the spliced event *order* — the
+``(kind, name, cell_id)`` sequence — is identical however many workers
+ran the sweep.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.ledger import LedgerEvent
 
 
 class UnknownBuilderError(ReproError):
@@ -133,6 +144,10 @@ class JobResult:
             — so the scheduler's gather step verifies *exactly* the
             artifact that crossed the process boundary, and so both
             backends return byte-identical evidence.
+        events: the cell's run-ledger segment (``ledger=True`` jobs
+            only) — a tuple of frozen
+            :class:`~repro.obs.ledger.LedgerEvent` records the scheduler
+            splices into the sweep ledger in cell order.
     """
 
     key: tuple[str, str, int, int]
@@ -142,6 +157,25 @@ class JobResult:
     rounds_simulated: int = 0
     rounds_baseline: int = 0
     certificate: bytes | None = None
+    events: "tuple[LedgerEvent, ...] | None" = None
+
+
+def _cell_tracer(enabled: bool, key: tuple[str, str, int, int]):
+    """A ``(tracer, ledger)`` pair for one job cell.
+
+    Disabled jobs get the shared no-op :data:`~repro.obs.tracer
+    .NULL_TRACER` and no ledger; enabled jobs get a private
+    :class:`~repro.obs.ledger.RunLedger` whose every event carries the
+    cell's canonical label.  The scratch run id is rewritten when the
+    scheduler splices the segment into the sweep ledger.
+    """
+    from repro.obs.ledger import RunLedger, cell_label
+    from repro.obs.tracer import NULL_TRACER, LedgerTracer
+
+    if not enabled:
+        return NULL_TRACER, None
+    ledger = RunLedger()
+    return LedgerTracer(ledger, cell_id=cell_label(key)), ledger
 
 
 @dataclass(frozen=True)
@@ -163,6 +197,7 @@ class AttackJob:
     reuse: bool = True
     profile: bool = False
     certify: bool = False
+    ledger: bool = False
 
     @property
     def key(self) -> tuple[str, str, int, int]:
@@ -176,12 +211,18 @@ class AttackJob:
         canonical bytes and strips the live object off the outcome —
         the artifact travels once, as ``JobResult.certificate``, and the
         gather step re-verifies it before the sweep reports the cell.
+
+        With ``ledger`` the worker traces the pipeline into a private
+        :class:`~repro.obs.ledger.RunLedger` (every event stamped with
+        this cell's :func:`~repro.obs.ledger.cell_label`) and ships the
+        segment home as ``JobResult.events``.
         """
         from repro.lowerbound.driver import (
             ExecutionCache,
             attack_weak_consensus,
         )
 
+        tracer, cell_ledger = _cell_tracer(self.ledger, self.key)
         spec = resolve_builder(self.builder)(self.n, self.t)
         cache = ExecutionCache()
         begin = time.perf_counter()
@@ -194,6 +235,7 @@ class AttackJob:
             cache=cache,
             profile=self.profile,
             certify=self.certify,
+            tracer=tracer,
         )
         wall = time.perf_counter() - begin
         certificate_bytes: bytes | None = None
@@ -212,6 +254,11 @@ class AttackJob:
             rounds_simulated=outcome.rounds_simulated,
             rounds_baseline=outcome.rounds_baseline,
             certificate=certificate_bytes,
+            events=(
+                cell_ledger.segment()
+                if cell_ledger is not None
+                else None
+            ),
         )
 
 
@@ -223,6 +270,7 @@ class MeasureJob:
     n: int
     t: int
     include_mixed: bool = True
+    ledger: bool = False
 
     @property
     def key(self) -> tuple[str, str, int, int]:
@@ -230,22 +278,40 @@ class MeasureJob:
         return ("measure", self.builder, self.n, self.t)
 
     def run(self) -> JobResult:
-        """Rebuild the spec and measure its worst message count."""
+        """Rebuild the spec and measure its worst message count.
+
+        With ``ledger`` the measurement is wrapped in a ``measure`` span
+        and its worst message count and floor ratio land in the cell's
+        event segment (``JobResult.events``).
+        """
         from repro.analysis.complexity import (
             measure_point,
             mixed_workload,
             uniform_workloads,
         )
 
+        tracer, cell_ledger = _cell_tracer(self.ledger, self.key)
         spec = resolve_builder(self.builder)(self.n, self.t)
         workloads = uniform_workloads(self.n)
         if self.include_mixed:
             workloads.append(mixed_workload(self.n))
         begin = time.perf_counter()
-        point = measure_point(spec, workloads)
+        with tracer.span(
+            "measure", builder=self.builder, n=self.n, t=self.t
+        ):
+            point = measure_point(spec, workloads)
         wall = time.perf_counter() - begin
+        tracer.counter("measure.worst_messages", value=point.worst_messages)
+        tracer.gauge("measure.vs_floor", value=point.ratio_to_floor)
         return JobResult(
-            key=self.key, value=point, wall_seconds=wall
+            key=self.key,
+            value=point,
+            wall_seconds=wall,
+            events=(
+                cell_ledger.segment()
+                if cell_ledger is not None
+                else None
+            ),
         )
 
 

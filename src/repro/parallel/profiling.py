@@ -69,6 +69,38 @@ class AttackProfile:
                 return seconds
         return 0.0
 
+    def merge(self, other: "AttackProfile") -> "AttackProfile":
+        """The associative fold of two profiles.
+
+        Wall time, phase attributions, timed-round counts and round
+        totals sum; the slowest-round maxima take the max.  Phases keep
+        first-seen order across operands, so folding a sweep's per-cell
+        profiles in cell order yields a deterministic aggregate whatever
+        the grouping — ``a.merge(b).merge(c) == a.merge(b.merge(c))``
+        field for field.  The zero profile
+        (``AttackProfile(wall_seconds=0.0)``) is the identity.
+        """
+        totals: dict[str, float] = {}
+        order: list[str] = []
+        for name, seconds in (*self.phase_seconds, *other.phase_seconds):
+            if name not in totals:
+                totals[name] = 0.0
+                order.append(name)
+            totals[name] += seconds
+        return AttackProfile(
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            phase_seconds=tuple(
+                (name, totals[name]) for name in order
+            ),
+            rounds_timed=self.rounds_timed + other.rounds_timed,
+            round_seconds_total=(
+                self.round_seconds_total + other.round_seconds_total
+            ),
+            round_seconds_max=max(
+                self.round_seconds_max, other.round_seconds_max
+            ),
+        )
+
     def render(self) -> str:
         """A short, human-readable timing block."""
         lines = [f"wall time: {self.wall_seconds * 1e3:.2f} ms"]

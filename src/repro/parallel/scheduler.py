@@ -34,8 +34,8 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.lowerbound.driver import ExecutionCache
 from repro.parallel.jobs import (
@@ -44,6 +44,10 @@ from repro.parallel.jobs import (
     SweepJob,
     execute_job,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.obs.ledger import RunLedger
+    from repro.parallel.profiling import AttackProfile
 
 SERIAL = "serial"
 PROCESS = "process"
@@ -117,6 +121,11 @@ class SweepReport:
             gather step's independent verifier accepted (cells whose
             certificate is rejected surface as ``"certificate"`` errors,
             never as results).
+        profile: the associative
+            :meth:`~repro.parallel.profiling.AttackProfile.merge` of
+            every profiled cell's profile, in cell order (``None`` when
+            no cell carried one).  Wall-clock data — excluded from
+            outcome equality like every per-cell profile.
     """
 
     backend: str
@@ -127,6 +136,7 @@ class SweepReport:
     rounds_simulated: int = 0
     rounds_baseline: int = 0
     certificates_verified: int = 0
+    profile: "AttackProfile | None" = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -266,10 +276,20 @@ class SweepScheduler:
         timeout: optional per-cell wall-clock budget in seconds (process
             backend only); an overrunning cell is recorded as a
             ``"timeout"`` :class:`CellError` and the sweep moves on.
+        ledger: optional sweep :class:`~repro.obs.ledger.RunLedger`.
+            When set, every job is resubmitted with ``ledger=True`` so
+            the workers trace themselves, and the gather step splices
+            the shipped per-cell segments into this ledger *in cell
+            submission order* — followed by per-cell wall/status events
+            and certificate-verdict artifacts emitted by the gather
+            itself.  Both backends run the same job code path, so the
+            spliced event order (``kind``/``name``/``cell_id``) is
+            backend-independent.
     """
 
     jobs: int = 1
     timeout: float | None = None
+    ledger: "RunLedger | None" = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -287,6 +307,10 @@ class SweepScheduler:
         completion order; failures are per-cell, never sweep-aborting.
         """
         job_list = list(jobs)
+        if self.ledger is not None:
+            job_list = [
+                replace(job, ledger=True) for job in job_list
+            ]
         begin = time.perf_counter()
         if self.backend == SERIAL:
             cells = self._run_serial(job_list)
@@ -413,12 +437,19 @@ class SweepScheduler:
         exact bytes that crossed the process boundary — and a rejected
         certificate turns its cell into a ``"certificate"`` error: the
         sweep never reports an outcome whose evidence does not check.
+
+        When the scheduler carries a sweep ledger, each cell's shipped
+        event segment is spliced here (cell order), followed by the
+        gather's own per-cell events; per-cell profiles fold into one
+        aggregate via ``AttackProfile.merge``.
         """
         cells = [self._verify_cell(cell) for cell in cells]
+        self._splice_ledger(cells)
         merged = ExecutionCache()
         rounds_simulated = 0
         rounds_baseline = 0
         certificates_verified = 0
+        profile: "AttackProfile | None" = None
         for cell in cells:
             if cell.result is None:
                 continue
@@ -428,6 +459,13 @@ class SweepScheduler:
             rounds_baseline += cell.result.rounds_baseline
             if cell.result.certificate is not None:
                 certificates_verified += 1
+            cell_profile = getattr(cell.result.value, "profile", None)
+            if cell_profile is not None:
+                profile = (
+                    cell_profile
+                    if profile is None
+                    else profile.merge(cell_profile)
+                )
         return SweepReport(
             backend=self.backend,
             jobs=self.jobs,
@@ -441,7 +479,64 @@ class SweepScheduler:
             rounds_simulated=rounds_simulated,
             rounds_baseline=rounds_baseline,
             certificates_verified=certificates_verified,
+            profile=profile,
         )
+
+    def _splice_ledger(self, cells: Sequence[SweepCell]) -> None:
+        """Fold every cell's telemetry into the sweep ledger, in order.
+
+        For each cell (submission order): first the worker's shipped
+        event segment — run ids rewritten to the sweep's, worker ids and
+        timestamps preserved — then the gather's own view of the cell
+        (wall-clock gauge, error counter or certificate-verdict
+        artifact).  Certificate verdicts are emitted here, not in the
+        worker, because acceptance is decided by the gather step's
+        independent verifier.
+        """
+        from repro.obs.ledger import cell_label
+
+        if self.ledger is None:
+            return
+        for cell in cells:
+            label = cell_label(cell.key)
+            if cell.result is not None and cell.result.events:
+                self.ledger.splice(cell.result.events)
+            self.ledger.emit(
+                "gauge",
+                "cell.wall_seconds",
+                value=cell.wall_seconds,
+                cell_id=label,
+            )
+            if cell.error is not None:
+                self.ledger.emit(
+                    "counter",
+                    "cell.error",
+                    value=1,
+                    cell_id=label,
+                    error_kind=cell.error.kind,
+                    message=cell.error.message,
+                )
+            if cell.result is not None and (
+                cell.result.certificate is not None
+            ):
+                self.ledger.emit(
+                    "artifact",
+                    "certificate",
+                    value=f"certificate:{label}",
+                    cell_id=label,
+                    verdict="ok",
+                    size_bytes=len(cell.result.certificate),
+                )
+            elif cell.error is not None and (
+                cell.error.kind == "certificate"
+            ):
+                self.ledger.emit(
+                    "artifact",
+                    "certificate",
+                    value=f"certificate:{label}",
+                    cell_id=label,
+                    verdict="rejected",
+                )
 
     @staticmethod
     def _verify_cell(cell: SweepCell) -> SweepCell:

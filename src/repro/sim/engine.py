@@ -73,6 +73,21 @@ class RoundEvent:
     all_sent: frozenset[Message]
     decisions: tuple[Payload | None, ...]
 
+    def sent_by_correct(self) -> int:
+        """Messages sent this round by processes outside ``corrupted``.
+
+        The round's contribution to the §2 message complexity under the
+        *current* corruption set — the quantity the tracing observer
+        streams against the ``t²/32`` floor.  (An adaptive adversary may
+        corrupt a sender later; final accounting always filters by the
+        run's final faulty set, as :class:`StreamingComplexity` does.)
+        """
+        return sum(
+            len(fragment.sent)
+            for pid, fragment in enumerate(self.fragments)
+            if pid not in self.corrupted
+        )
+
 
 class RoundObserver:
     """Base observer: all hooks are no-ops.

@@ -8,7 +8,6 @@ from repro.lowerbound.witnesses import ViolationKind, verify_witness
 from repro.protocols.base import ProtocolSpec
 from repro.protocols.subquadratic import (
     ALL_CHEATERS,
-    committee_cheater_spec,
     leader_echo_spec,
     ring_token_spec,
     silent_cheater_spec,

@@ -1,0 +1,119 @@
+"""Tests for ``AttackProfile.merge`` and the sweep-level aggregate.
+
+The merge is required to be associative with the zero profile as
+identity, so the scheduler can fold per-cell profiles in any grouping
+— and the serial and pooled backends must agree on everything except
+wall-clock magnitudes (phase names and order, timed-round counts).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.jobs import AttackJob
+from repro.parallel.profiling import AttackProfile
+from repro.parallel.scheduler import SweepScheduler
+
+_PHASES = ["fault-free", "isolation-scan", "swap", "merge"]
+
+
+def _profiles() -> st.SearchStrategy[AttackProfile]:
+    # Integer-valued seconds keep float addition exactly associative,
+    # so the law can be asserted with ==.
+    seconds = st.integers(min_value=0, max_value=1000).map(
+        lambda value: value / 4.0
+    )
+    phase_pairs = st.lists(
+        st.tuples(st.sampled_from(_PHASES), seconds),
+        max_size=4,
+        unique_by=lambda pair: pair[0],
+    )
+    return st.builds(
+        lambda wall, phases, timed, total, peak: AttackProfile(
+            wall_seconds=wall,
+            phase_seconds=tuple(phases),
+            rounds_timed=timed,
+            round_seconds_total=total,
+            round_seconds_max=peak,
+        ),
+        seconds,
+        phase_pairs,
+        st.integers(min_value=0, max_value=50),
+        seconds,
+        seconds,
+    )
+
+
+class TestMergeAlgebra:
+    @given(_profiles(), _profiles(), _profiles())
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(_profiles())
+    def test_zero_profile_is_identity(self, profile):
+        zero = AttackProfile(wall_seconds=0.0)
+        assert zero.merge(profile) == profile
+        assert profile.merge(zero) == profile
+
+    def test_phases_sum_in_first_seen_order(self):
+        a = AttackProfile(
+            wall_seconds=1.0,
+            phase_seconds=(("fault-free", 1.0), ("merge", 2.0)),
+        )
+        b = AttackProfile(
+            wall_seconds=2.0,
+            phase_seconds=(("swap", 5.0), ("merge", 3.0)),
+        )
+        merged = a.merge(b)
+        assert merged.phase_seconds == (
+            ("fault-free", 1.0),
+            ("merge", 5.0),
+            ("swap", 5.0),
+        )
+        assert merged.wall_seconds == 3.0
+
+    def test_round_counters_sum_and_max(self):
+        a = AttackProfile(
+            wall_seconds=1.0,
+            rounds_timed=3,
+            round_seconds_total=0.3,
+            round_seconds_max=0.2,
+        )
+        b = AttackProfile(
+            wall_seconds=1.0,
+            rounds_timed=2,
+            round_seconds_total=0.1,
+            round_seconds_max=0.4,
+        )
+        merged = a.merge(b)
+        assert merged.rounds_timed == 5
+        assert merged.round_seconds_total == 0.4
+        assert merged.round_seconds_max == 0.4
+
+
+class TestSweepAggregate:
+    def _matrix(self) -> list[AttackJob]:
+        return [
+            AttackJob("silent", 8, 4, profile=True),
+            AttackJob("ring-token", 12, 8, profile=True),
+        ]
+
+    def test_backends_agree_modulo_wall_clock(self):
+        serial = SweepScheduler(jobs=1).run(self._matrix())
+        pooled = SweepScheduler(jobs=2).run(self._matrix())
+        assert serial.ok and pooled.ok
+        assert serial.profile is not None
+        assert pooled.profile is not None
+        # Identical structure: same phases in the same order, same
+        # number of timed rounds.  Wall-clock magnitudes may differ.
+        assert [name for name, _ in serial.profile.phase_seconds] == [
+            name for name, _ in pooled.profile.phase_seconds
+        ]
+        assert (
+            serial.profile.rounds_timed == pooled.profile.rounds_timed
+        )
+
+    def test_unprofiled_sweep_has_no_aggregate(self):
+        report = SweepScheduler(jobs=1).run(
+            [AttackJob("silent", 8, 4)]
+        )
+        assert report.profile is None

@@ -36,10 +36,6 @@ class TestAmortization:
         n, t = 5, 1
         ic_execution = ic_from_broadcasts(n, t).run(["v"] * n)
         silent = ic_from_broadcasts(n, t).run(["v"] * n, rounds=1)
-        # Construct a degenerate "baseline" with no correct messages by
-        # reusing an execution and pretending: easier to call directly.
-        from repro.sim.execution import Execution
-
         class _Zero:
             def message_complexity(self):
                 return 0

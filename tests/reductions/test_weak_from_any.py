@@ -8,12 +8,10 @@ from repro.protocols.dolev_strong import dolev_strong_spec
 from repro.protocols.strong_consensus import (
     authenticated_strong_consensus_spec,
 )
-from repro.protocols.subquadratic import leader_echo_spec
 from repro.reductions.weak_from_any import (
     derive_plan,
     plan_from_executions,
     reduce_weak_consensus,
-    reduction_spec,
 )
 from repro.sim.adversary import ByzantineAdversary, CrashAdversary
 from repro.validity.standard import (

@@ -15,7 +15,7 @@ from repro.sim.execution import (
     majority_decision,
     unanimous_decision,
 )
-from repro.sim.state import Behavior, Fragment
+from repro.sim.state import Behavior
 
 
 def run_small(adversary=None):

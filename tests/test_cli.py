@@ -43,7 +43,11 @@ class TestMain:
             main(["attack", "silent", "--n", "12", "--t", "8", "--log"])
             == 0
         )
-        assert "violation:" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "VIOLATION" in captured.out
+        # The pipeline narrative is a diagnostic: stderr only.
+        assert "Lemma" in captured.err
+        assert "Lemma" not in captured.out
 
     def test_classify(self, capsys):
         assert main(["classify", "strong", "--n", "4", "--t", "2"]) == 0
@@ -56,6 +60,94 @@ class TestMain:
             == 0
         )
         assert "no violation" in capsys.readouterr().out
+
+
+class TestLedgerCommands:
+    def test_attack_ledger_then_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert (
+            main(
+                [
+                    "attack",
+                    "ring-token",
+                    "--n",
+                    "12",
+                    "--t",
+                    "8",
+                    "--ledger",
+                    path,
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "run ledger written" in captured.err
+        assert "run ledger written" not in captured.out
+        assert main(["trace", path]) == 0
+        trace = capsys.readouterr().out
+        assert "phase tree" in trace
+        assert "fault-free" in trace
+        assert "messages / (t²/32)" in trace
+        assert "cache hit rate" in trace
+
+    def test_trace_missing_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["trace", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_trend_appends_and_diffs(self, tmp_path, capsys):
+        out = str(tmp_path / "trend.jsonl")
+        assert main(["report", "--trend", "--out", out]) == 0
+        first = capsys.readouterr()
+        assert "first recorded point" in first.out
+        assert "trend point appended" in first.err
+        assert main(["report", "--trend", "--out", out]) == 0
+        again = capsys.readouterr().out
+        assert "wall vs previous" in again
+
+    def test_sweep_ledger_records_measure_cells(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.ledger import read_events
+
+        path = str(tmp_path / "sweep.jsonl")
+        assert (
+            main(
+                [
+                    "sweep",
+                    "weak-consensus",
+                    "--max-t",
+                    "4",
+                    "--ledger",
+                    path,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        events = read_events(path)
+        names = {event.name for event in events}
+        assert "measure.worst_messages" in names
+        assert "cell.wall_seconds" in names
+
+    def test_profile_table_goes_to_stderr(self, capsys):
+        assert (
+            main(
+                [
+                    "attack",
+                    "silent",
+                    "--n",
+                    "12",
+                    "--t",
+                    "8",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "wall time:" in captured.err
+        assert "wall time:" not in captured.out
 
 
 class TestWitnessFiles:
@@ -114,4 +206,5 @@ class TestWitnessFiles:
             )
             == 1
         )
-        assert "REJECTED" in capsys.readouterr().out
+        # Rejection details are diagnostics: stderr, not stdout.
+        assert "REJECTED" in capsys.readouterr().err

@@ -14,12 +14,16 @@ import pytest
 import repro.certify.format
 import repro.certify.verifier
 import repro.lowerbound.bound
+import repro.obs.ledger
+import repro.obs.metrics
 import repro.sim.serialization
 
 DOCUMENTED_MODULES = [
     repro.certify.format,
     repro.certify.verifier,
     repro.lowerbound.bound,
+    repro.obs.ledger,
+    repro.obs.metrics,
     repro.sim.serialization,
 ]
 
