@@ -184,3 +184,49 @@ def bench_a3_signature_floor(benchmark, report_dir):
             ],
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_a1_partition_sizing():
+    n, t = 16, 8
+    for size_b, size_c in [(1, 1), (2, 2), (4, 4)]:
+        partition = ABCPartition(
+            n=n,
+            t=t,
+            group_b=frozenset(range(n - size_b - size_c, n - size_c)),
+            group_c=frozenset(range(n - size_c, n)),
+        )
+        outcome = attack_weak_consensus(
+            leader_echo_spec(n, t), partition
+        )
+        assert outcome.found_violation
+
+
+def _observatory_a3_signature_floor():
+    execution = dolev_strong_spec(10, 4).run_uniform("v")
+    signatures = signature_complexity(execution)
+    floor = dolev_reischuk_signature_floor(10, 4)
+    assert signatures >= floor / 4
+
+
+def _observatory_a5_round_complexity():
+    from repro.analysis.latency import LatencyReport
+
+    for t in (2, 4):
+        spec = dolev_strong_spec(t + 4, t)
+        report = LatencyReport.of(spec.run_uniform("v"))
+        assert report.latest == t + 1
+
+
+_register("a1", "partition_sizing_n16_t8",
+          _observatory_a1_partition_sizing)
+_register("a1", "signature_floor_n10_t4",
+          _observatory_a3_signature_floor, quick=True)
+_register("a1", "round_complexity_ds",
+          _observatory_a5_round_complexity, quick=True)

@@ -39,3 +39,26 @@ def bench_e1_quadratic_shape_proportional_grid(benchmark, report_dir):
         "e1_quadratic_shape",
         render_sweep(points) + f"\nfit: {fit.render()}",
     )
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e1_floor_series(max_t):
+    result = run_e1(max_t)
+    assert result.data["floor_violations"] == []
+    return result
+
+
+_register(
+    "e1", "floor_series_t8",
+    lambda: _observatory_e1_floor_series(8), quick=True,
+)
+_register(
+    "e1", "floor_series_t16",
+    lambda: _observatory_e1_floor_series(16),
+)

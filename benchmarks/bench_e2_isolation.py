@@ -13,3 +13,21 @@ def bench_e2_divergence_profile(benchmark, report_dir):
     assert result.data["in_group_divergence"] >= isolate_at + 1
     assert result.data["outside_divergence"] >= isolate_at + 2
     write_report(report_dir, "e2_isolation_bands", result.report)
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e2_divergence():
+    result = run_e2()
+    isolate_at = result.data["isolate_at"]
+    assert result.data["in_group_divergence"] >= isolate_at + 1
+    return result
+
+
+_register("e2", "divergence_profile", _observatory_e2_divergence,
+          quick=True)

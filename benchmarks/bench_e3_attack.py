@@ -90,3 +90,30 @@ def bench_e3_parallel_scaling(report_dir):
         },
     }
     write_json_report(report_dir, "e3_parallel_scaling", payload)
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e3_sweep(ts):
+    result = run_e3(ts)
+    assert result.data["broken"] == len(result.data["outcomes"])
+    return result
+
+
+def _observatory_e3_ring_token_attack():
+    outcome = attack_weak_consensus(ring_token_spec(12, 8))
+    assert outcome.found_violation
+    return outcome
+
+
+_register("e3", "cheater_matrix_t8",
+          lambda: _observatory_e3_sweep((8,)), quick=True)
+_register("e3", "cheater_matrix_t8_t16",
+          lambda: _observatory_e3_sweep((8, 16)))
+_register("e3", "ring_token_attack_n12_t8",
+          _observatory_e3_ring_token_attack, quick=True)

@@ -30,3 +30,20 @@ def bench_e4_reduced_protocol_run(benchmark):
 
     execution = benchmark(kernel)
     assert set(execution.correct_decisions().values()) == {0}
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e4_reduction():
+    result = run_e4(6, 2)
+    assert result.data["max_overhead"] == 0
+    return result
+
+
+_register("e4", "reduction_table_n6_t2", _observatory_e4_reduction,
+          quick=True)

@@ -78,3 +78,30 @@ def bench_e5_resilience_grid(benchmark, report_dir):
             ("problem", "n", "t", "CC", "auth", "unauth"), rows
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e5_classification():
+    result = run_e5(4, 1)
+    for row in result.data["rows"]:
+        _, trivial, cc, auth, _, solved = row
+        if trivial == "N":
+            assert cc == "Y" and auth == "Y" and solved == "yes"
+    return result
+
+
+def _observatory_e5_classify_ic():
+    report = classify(interactive_consistency_problem(4, 1))
+    assert report.cc.holds and not report.trivial
+    return report
+
+
+_register("e5", "classification_n4_t1",
+          _observatory_e5_classification, quick=True)
+_register("e5", "classify_ic_n4_t1", _observatory_e5_classify_ic)

@@ -16,3 +16,20 @@ def bench_e6_single_cc_decision(benchmark):
     """CC decision cost at the largest grid point (n=7, t=3)."""
     holds = benchmark(strong_consensus_cc, 7, 3)
     assert holds  # 7 > 6
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e6_boundary():
+    result = run_e6(7)
+    assert result.data["mismatches"] == []
+    return result
+
+
+_register("e6", "boundary_grid_n7", _observatory_e6_boundary,
+          quick=True)

@@ -31,3 +31,33 @@ def bench_e7_phase_king_run(benchmark):
     spec = phase_king_spec(13, 4)
     execution = benchmark(spec.run_uniform, 1)
     assert set(execution.correct_decisions().values()) == {1}
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e7_sweeps(max_t):
+    result = run_e7(max_t)
+    assert all(
+        point.worst_messages >= point.floor
+        for point in result.data["points"]["dolev-strong"]
+    )
+    return result
+
+
+def _observatory_e7_phase_king_run():
+    execution = phase_king_spec(13, 4).run_uniform(1)
+    assert set(execution.correct_decisions().values()) == {1}
+    return execution
+
+
+_register("e7", "protocol_sweeps_t6",
+          lambda: _observatory_e7_sweeps(6), quick=True)
+_register("e7", "protocol_sweeps_t8",
+          lambda: _observatory_e7_sweeps(8))
+_register("e7", "phase_king_run_n13_t4",
+          _observatory_e7_phase_king_run, quick=True)

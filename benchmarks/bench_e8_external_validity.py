@@ -16,3 +16,20 @@ def bench_e8_corollary1(benchmark, report_dir):
         result.data["weak_one"].correct_decisions().values()
     ) == {1}
     write_report(report_dir, "e8_external_validity", result.report)
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e8_corollary1():
+    result = run_e8(6, 2)
+    assert result.data["messages"] >= result.data["floor"]
+    return result
+
+
+_register("e8", "corollary1_n6_t2", _observatory_e8_corollary1,
+          quick=True)

@@ -52,3 +52,23 @@ def bench_e10_single_checked_merge(benchmark):
 
     merged = benchmark(kernel)
     assert merged.faulty == partition.group_b | partition.group_c
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_e9_suite(samples):
+    result = run_e9(10, 4, samples)
+    assert result.data["swap_checks"] > 0
+    assert result.data["merge_checks"] > 0
+    return result
+
+
+_register("e9", "swap_merge_samples2",
+          lambda: _observatory_e9_suite(2), quick=True)
+_register("e9", "swap_merge_samples4",
+          lambda: _observatory_e9_suite(4))

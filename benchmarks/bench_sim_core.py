@@ -159,3 +159,43 @@ def bench_driver_attack_traced(benchmark):
     outcome, ledger = benchmark(traced)
     assert outcome.found_violation
     assert len(ledger) > 0
+
+
+# ----------------------------------------------------------------------
+# benchmark-observatory registration (`repro bench run`)
+# ----------------------------------------------------------------------
+
+from repro.obs.bench import register as _register
+
+
+def _observatory_phase_king_loop():
+    execution = phase_king_spec(13, 4).run_uniform(1, check=False)
+    assert execution.decision(0) == 1
+    return execution
+
+
+def _observatory_validity_checker():
+    spec = phase_king_spec(13, 4)
+    check_execution(spec.run_uniform(1, check=False))
+
+
+def _observatory_attack_with_reuse():
+    outcome = attack_weak_consensus(ring_token_spec(12, 8))
+    assert outcome.found_violation
+    return outcome
+
+
+def _observatory_signature_heavy_run():
+    execution = dolev_strong_spec(16, 8).run_uniform("v", check=False)
+    assert execution.decision(3) == "v"
+    return execution
+
+
+_register("sim_core", "phase_king_loop_n13_t4",
+          _observatory_phase_king_loop, quick=True)
+_register("sim_core", "validity_checker_n13_t4",
+          _observatory_validity_checker, quick=True)
+_register("sim_core", "attack_reuse_n12_t8",
+          _observatory_attack_with_reuse, quick=True)
+_register("sim_core", "dolev_strong_run_n16_t8",
+          _observatory_signature_heavy_run)

@@ -14,14 +14,19 @@ Subcommands:
 * ``trace`` — render a persisted run ledger as a phase-tree timeline.
 * ``report --trend`` — append a canary perf point to the trend log and
   diff it against the previous point.
+* ``bench run`` / ``bench compare`` / ``bench list`` — the benchmark
+  observatory: measure registered kernels outside pytest, append the
+  points to per-suite ``BENCH_<suite>.json`` trajectories, and gate
+  trajectories against a baseline with the noise-aware threshold.
 
 Stream discipline: *results* (experiment reports, attack renders, sweep
-tables, verdicts, trace timelines) go to stdout; *diagnostics* (the
-``--log`` narrative, profile/timing tables, "written to" notices,
-rejection details, errors) go to stderr, so piped output stays clean.
-Every failure path exits nonzero: ``1`` for domain failures (violated
-expectations, rejected artifacts, sweep-cell errors), ``2`` for
-environment failures (unreadable or unwritable files).
+tables, verdicts, trace timelines, bench tables) go to stdout;
+*diagnostics* (the ``--log`` narrative, profile/timing tables, live
+sweep progress, "written to" notices, rejection details, errors) go to
+stderr, so piped output stays clean.  Every failure path exits nonzero:
+``1`` for domain failures (violated expectations, rejected artifacts,
+sweep-cell errors, flagged bench regressions), ``2`` for environment
+failures (unreadable, unwritable or malformed files).
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.errors import ReproError
+from repro.errors import ArtifactError, ReproError
 from repro.experiments import ALL_EXPERIMENTS, CHEATERS
 from repro.lowerbound.driver import attack_weak_consensus
 from repro.protocols.weak_consensus import broadcast_weak_consensus_spec
@@ -77,6 +82,36 @@ def _info(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _progress_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "live sweep status line on stderr (cells done/total, ETA, "
+            "stall flag); default: on when stderr is a terminal"
+        ),
+    )
+    subparser.add_argument(
+        "--stall-after",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "flag the sweep as stalled after this many seconds "
+            "without a cell completing (default: 30)"
+        ),
+    )
+
+
+def _resolve_progress(args: argparse.Namespace) -> bool:
+    """The effective progress setting: explicit flag, else tty auto."""
+    flag = getattr(args, "progress", None)
+    if flag is None:
+        return sys.stderr.isatty()
+    return flag
+
+
 def _ledger_option(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--ledger",
@@ -113,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
                 ),
             )
             _ledger_option(experiment)
+            _progress_options(experiment)
     all_parser = subparsers.add_parser(
         "all", help="run every experiment"
     )
@@ -126,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _ledger_option(all_parser)
+    _progress_options(all_parser)
 
     attack = subparsers.add_parser(
         "attack", help="run the lower-bound attack on a protocol"
@@ -281,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _ledger_option(sweep_parser)
+    _progress_options(sweep_parser)
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -333,6 +371,121 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when a regression is flagged",
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help=(
+            "the benchmark observatory: measure registered kernels, "
+            "persist per-suite trajectories, compare against baselines"
+        ),
+    )
+    bench_sub = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+    bench_run = bench_sub.add_parser(
+        "run",
+        help=(
+            "measure kernels (warmup + timed repetitions + memory "
+            "accounting) and append the points to BENCH_<suite>.json"
+        ),
+    )
+    bench_run.add_argument(
+        "--suite",
+        action="append",
+        metavar="SUITE",
+        help=(
+            "measure only this suite (repeatable; default: every "
+            "registered suite)"
+        ),
+    )
+    bench_run.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "quick tier: only quick-tier kernels, 3 repetitions "
+            "(CI-speed)"
+        ),
+    )
+    bench_run.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="timed repetitions per kernel (default: 3 quick, 7 full)",
+    )
+    bench_run.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="N",
+        help="untimed warmup executions per kernel (default: 1)",
+    )
+    bench_run.add_argument(
+        "--dir",
+        default="benchmarks",
+        help="directory of bench_*.py kernel modules (default: benchmarks)",
+    )
+    bench_run.add_argument(
+        "--out-dir",
+        default=".",
+        help=(
+            "where BENCH_<suite>.json trajectories accumulate "
+            "(default: current directory)"
+        ),
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help=(
+            "gate current trajectories against a baseline with the "
+            "noise-aware threshold (exit 1 on regression)"
+        ),
+    )
+    bench_compare.add_argument(
+        "baseline",
+        help=(
+            "baseline trajectory: a BENCH_<suite>.json file or a "
+            "directory of them"
+        ),
+    )
+    bench_compare.add_argument(
+        "current",
+        nargs="*",
+        help=(
+            "current trajectory file(s); default: the BENCH_<suite>"
+            ".json in --out-dir matching the baseline's suites"
+        ),
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help=(
+            "regression gate floor as a fraction; a kernel is flagged "
+            "only beyond max(threshold, 3x measured noise) "
+            "(default: 0.2 = 20%%)"
+        ),
+    )
+    bench_compare.add_argument(
+        "--out-dir",
+        default=".",
+        help=(
+            "where to look for current trajectories when none are "
+            "given (default: current directory)"
+        ),
+    )
+    bench_list = bench_sub.add_parser(
+        "list", help="list the registered kernels and their tiers"
+    )
+    bench_list.add_argument(
+        "--dir",
+        default="benchmarks",
+        help="directory of bench_*.py kernel modules (default: benchmarks)",
+    )
+    bench_list.add_argument(
+        "--quick",
+        action="store_true",
+        help="list only the quick tier",
+    )
     return parser
 
 
@@ -375,7 +528,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except OSError as error:
+    except (OSError, ArtifactError) as error:
+        # Environment failures: unreadable/unwritable files, or files
+        # that exist but are not the artifact they claim to be.
         _info(f"error: {error}")
         return 2
     except (ReproError, RuntimeError) as error:
@@ -392,6 +547,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         ledger = _make_ledger(getattr(args, "ledger", None))
         if ledger is not None:
             kwargs["ledger"] = ledger
+        if hasattr(args, "progress") and _resolve_progress(args):
+            kwargs["progress"] = True
+            kwargs["stall_after"] = args.stall_after
         print(runner(**kwargs).report)
         _write_ledger(ledger, getattr(args, "ledger", None))
         return 0
@@ -399,6 +557,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         import inspect
 
         ledger = _make_ledger(args.ledger)
+        progress = _resolve_progress(args)
         for experiment_id, runner in ALL_EXPERIMENTS.items():
             # Sweep-shaped experiments accept a worker count and a
             # ledger; the rest run as before.
@@ -408,6 +567,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                 kwargs["jobs"] = args.jobs
             if ledger is not None and "ledger" in parameters:
                 kwargs["ledger"] = ledger
+            if progress and "progress" in parameters:
+                kwargs["progress"] = True
+                kwargs["stall_after"] = args.stall_after
             print(runner(**kwargs).report)
             print()
         _write_ledger(ledger, args.ledger)
@@ -539,7 +701,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             grid = quadratic_parameter_grid(args.max_t)
         ledger = _make_ledger(args.ledger)
-        report = SweepScheduler(jobs=args.jobs, ledger=ledger).run(
+        report = SweepScheduler(
+            jobs=args.jobs,
+            ledger=ledger,
+            progress=_resolve_progress(args),
+            stall_after=args.stall_after,
+        ).run(
             MeasureJob(builder=args.protocol, n=n, t=t)
             for n, t in grid
         )
@@ -577,7 +744,100 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.strict and not delta.ok:
             return 1
         return 0
+    if args.command == "bench":
+        return _dispatch_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _bench_points(path: str) -> list[dict]:
+    """Points from one trajectory file or a directory of them."""
+    import os
+
+    from repro.obs import bench
+
+    if os.path.isdir(path):
+        names = sorted(
+            name
+            for name in os.listdir(path)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        )
+        if not names:
+            raise bench.BenchError(
+                f"no BENCH_*.json trajectories under {path!r}"
+            )
+        points: list[dict] = []
+        for name in names:
+            points.extend(
+                bench.read_bench_file(os.path.join(path, name))
+            )
+        return points
+    return bench.read_bench_file(path)
+
+
+def _dispatch_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import bench
+
+    if args.bench_command == "run":
+        bench.load_benchmark_modules(args.dir)
+        selected = bench.kernels(
+            suites=args.suite, quick=args.quick or None
+        )
+        if not selected:
+            raise bench.BenchError(
+                "no kernels matched the suite/tier selection"
+            )
+        tier = "quick" if args.quick else "full"
+        repetitions = args.repetitions or (
+            bench.QUICK_REPETITIONS
+            if args.quick
+            else bench.FULL_REPETITIONS
+        )
+        runner = bench.BenchRunner(
+            repetitions=repetitions, warmup=args.warmup, tier=tier
+        )
+        points = []
+        for kernel in selected:
+            _info(
+                f"measuring {kernel.label} "
+                f"({repetitions} repetitions, tier {tier})..."
+            )
+            points.append(runner.measure(kernel))
+        print(bench.render_points(points))
+        for path in bench.append_points(args.out_dir, points):
+            _info(f"trajectory appended to {path}")
+        return 0
+    if args.bench_command == "compare":
+        baseline = _bench_points(args.baseline)
+        if args.current:
+            current = [
+                point
+                for path in args.current
+                for point in bench.read_bench_file(path)
+            ]
+        else:
+            suites = sorted({point["suite"] for point in baseline})
+            current = []
+            for suite in suites:
+                path = os.path.join(
+                    args.out_dir, bench.trajectory_file_name(suite)
+                )
+                current.extend(bench.read_bench_file(path))
+        report = bench.compare_points(
+            baseline, current, threshold=args.threshold
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    if args.bench_command == "list":
+        bench.load_benchmark_modules(args.dir)
+        for kernel in bench.kernels(quick=args.quick or None):
+            tier = "quick" if kernel.quick else "full"
+            print(f"{kernel.label} [{tier}]")
+        return 0
+    raise AssertionError(
+        f"unhandled bench command {args.bench_command!r}"
+    )
 
 
 if __name__ == "__main__":

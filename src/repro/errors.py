@@ -15,6 +15,17 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ArtifactError(ReproError):
+    """A persisted artifact exists but cannot be understood.
+
+    Raised when a run ledger, trend log, bench trajectory or similar
+    on-disk artifact is truncated, is not valid JSON, or lacks required
+    fields.  Distinguished from the other :class:`ReproError` subclasses
+    because it is an *environment* failure: the CLI maps it (like
+    :class:`OSError`) to exit code 2, not the domain-failure exit 1.
+    """
+
+
 class ModelViolation(ReproError):
     """An execution trace violates the formal execution model of Appendix A.
 

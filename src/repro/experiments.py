@@ -190,6 +190,8 @@ def run_e3(
     *,
     jobs: int = 1,
     ledger: "Any | None" = None,
+    progress: bool = False,
+    stall_after: float = 30.0,
 ) -> ExperimentResult:
     """E3 — Lemmas 2–5: break every sub-quadratic cheater, every t.
 
@@ -209,7 +211,12 @@ def run_e3(
         for name in CHEATERS
         for t in ts
     ]
-    sweep_report = SweepScheduler(jobs=jobs, ledger=ledger).run(matrix)
+    sweep_report = SweepScheduler(
+        jobs=jobs,
+        ledger=ledger,
+        progress=progress,
+        stall_after=stall_after,
+    ).run(matrix)
     sweep_report.raise_errors()
     outcomes: list[AttackOutcome] = sweep_report.values()
     rows = []
@@ -430,7 +437,12 @@ def run_e6(max_n: int = 7) -> ExperimentResult:
 
 
 def run_e7(
-    max_t: int = 8, *, jobs: int = 1, ledger: "Any | None" = None
+    max_t: int = 8,
+    *,
+    jobs: int = 1,
+    ledger: "Any | None" = None,
+    progress: bool = False,
+    stall_after: float = 30.0,
 ) -> ExperimentResult:
     """E7 — Dolev–Reischuk context: measured protocol complexities.
 
@@ -466,7 +478,12 @@ def run_e7(
         for builder, grid in grids.values()
         for n, t in grid
     ]
-    sweep_report = SweepScheduler(jobs=jobs, ledger=ledger).run(matrix)
+    sweep_report = SweepScheduler(
+        jobs=jobs,
+        ledger=ledger,
+        progress=progress,
+        stall_after=stall_after,
+    ).run(matrix)
     sweep_report.raise_errors()
     points_iter = iter(sweep_report.values())
     all_points: dict[str, list[SweepPoint]] = {}

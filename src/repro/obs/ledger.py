@@ -242,13 +242,29 @@ class RunLedger:
 
 
 def read_events(path: str) -> list[LedgerEvent]:
-    """Load a persisted JSONL ledger back into events (blank-line safe)."""
+    """Load a persisted JSONL ledger back into events (blank-line safe).
+
+    Raises:
+        ArtifactError: if any line is not valid JSON or lacks a required
+            event field — the file exists but is not a ledger, an
+            environment failure the CLI maps to exit 2.
+        OSError: if the file cannot be read at all.
+    """
+    from repro.errors import ArtifactError
+
     events: list[LedgerEvent] = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(LedgerEvent.from_json(line))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ArtifactError(
+                    f"{path}:{number}: not a ledger event "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
     return events
 
 

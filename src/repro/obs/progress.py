@@ -1,0 +1,229 @@
+"""Live sweep progress: heartbeat accounting and the stderr status line.
+
+A multi-minute sweep (the E3 cheater matrix, a ``--jobs N`` fan-out) was
+previously silent until the gather step returned; this module closes the
+liveness gap.  :class:`SweepProgress` is the shared tracker the
+:class:`~repro.parallel.scheduler.SweepScheduler` drives:
+
+* the backends report cell lifecycle — :meth:`SweepProgress.start` when
+  a cell is launched (serial) or submitted (process pool) and
+  :meth:`SweepProgress.note_done` when it completes;
+* a monitor thread (:class:`HeartbeatMonitor`) calls
+  :meth:`SweepProgress.tick` on a fixed interval, crediting one
+  *heartbeat* to every in-flight cell and refreshing the status line;
+* the status line — **stderr only**, stdout stays machine-readable —
+  shows ``done/total`` cells, elapsed, an ETA extrapolated from the
+  completed cells, and a ``STALLED`` flag once no cell has completed
+  within the configured quiet period.
+
+Heartbeat *counts* are wall-clock telemetry (they differ run to run and
+backend to backend); the scheduler serializes them into the run ledger
+at gather time, one deterministic ``cell.start`` / ``cell.heartbeat`` /
+``cell.done`` triple per cell in submission order, so the spliced event
+*order* stays backend-independent (the PR-4 splice contract).
+
+Everything here is stdlib-only and injectable: the tests drive a fake
+clock and a string stream, never a real timer thread.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, TextIO
+
+
+def _format_seconds(seconds: float) -> str:
+    """Compact human duration (``41s``, ``3m20s``, ``1h02m``)."""
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class SweepProgress:
+    """Thread-safe sweep liveness tracker with an stderr status line.
+
+    Args:
+        total: how many cells the sweep will run.
+        stream: where status lines go (``None`` disables output — the
+            tracker still accounts heartbeats for the ledger).  Status
+            output belongs on **stderr**; passing stdout would break the
+            CLI's stream-hygiene contract.
+        stall_after: the quiet period (seconds): once no cell has
+            completed for this long while cells remain, the line grows a
+            ``STALLED`` flag naming the longest-running cell.
+        clock: monotonic time source (injectable for tests).
+        label: the line's prefix (e.g. ``"sweep"``, ``"e3"``).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: TextIO | None = None,
+        stall_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        label: str = "sweep",
+    ) -> None:
+        self.total = total
+        self.stall_after = stall_after
+        self.label = label
+        self.heartbeats: dict[str, int] = {}
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started: dict[str, float] = {}
+        self._done = 0
+        self._begin = clock()
+        self._last_done_at = self._begin
+        self._line_open = False
+
+    @property
+    def done(self) -> int:
+        """How many cells have completed (any status)."""
+        with self._lock:
+            return self._done
+
+    def start(self, label: str) -> None:
+        """Record that ``label``'s cell is now in flight."""
+        with self._lock:
+            self._started[label] = self._clock()
+            self.heartbeats.setdefault(label, 0)
+
+    def note_done(self, label: str) -> None:
+        """Record that ``label``'s cell completed.
+
+        Safe to call from executor callback threads; refreshes the
+        status line.
+        """
+        with self._lock:
+            self._started.pop(label, None)
+            self._done += 1
+            self._last_done_at = self._clock()
+            line = self._line()
+        self._emit(line)
+
+    def tick(self) -> None:
+        """One heartbeat: credit in-flight cells, refresh the line."""
+        with self._lock:
+            for label in self._started:
+                self.heartbeats[label] = self.heartbeats.get(label, 0) + 1
+            line = self._line()
+        self._emit(line)
+
+    def stalled_for(self) -> float:
+        """Seconds since the last completion (0.0 once all cells done)."""
+        with self._lock:
+            if self._done >= self.total:
+                return 0.0
+            return self._clock() - self._last_done_at
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the quiet period has elapsed with cells outstanding."""
+        return self.stalled_for() > self.stall_after
+
+    def eta_seconds(self) -> float | None:
+        """Remaining-time estimate from completed-cell throughput."""
+        with self._lock:
+            if not self._done or self._done >= self.total:
+                return None
+            elapsed = self._clock() - self._begin
+            return elapsed / self._done * (self.total - self._done)
+
+    def close(self) -> None:
+        """Emit the final line and release the terminal."""
+        with self._lock:
+            line = self._line()
+        self._emit(line, final=True)
+
+    # -- rendering -----------------------------------------------------
+
+    def _line(self) -> str:
+        """The current status line (caller holds the lock)."""
+        now = self._clock()
+        parts = [
+            f"{self.label}: {self._done}/{self.total} cells",
+            f"elapsed {_format_seconds(now - self._begin)}",
+        ]
+        if self._done and self._done < self.total:
+            eta = (now - self._begin) / self._done * (
+                self.total - self._done
+            )
+            parts.append(f"eta {_format_seconds(eta)}")
+        quiet = now - self._last_done_at
+        if self._done < self.total and quiet > self.stall_after:
+            slowest = min(
+                self._started, key=self._started.get, default=None
+            )
+            flag = f"STALLED {_format_seconds(quiet)}"
+            if slowest is not None:
+                flag += f" (longest in flight: {slowest})"
+            parts.append(flag)
+        return ", ".join(parts)
+
+    def _emit(self, line: str, final: bool = False) -> None:
+        if self._stream is None:
+            return
+        interactive = getattr(self._stream, "isatty", lambda: False)()
+        if interactive:
+            # Overwrite in place; pad so a shorter line fully covers the
+            # previous one.
+            self._stream.write(f"\r{line:<79}")
+            if final:
+                self._stream.write("\n")
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+
+class HeartbeatMonitor:
+    """A daemon thread calling :meth:`SweepProgress.tick` on an interval.
+
+    Context-manager usage wraps a sweep::
+
+        with HeartbeatMonitor(progress, interval=1.0):
+            ...  # run cells
+
+    The thread stops (and joins) on exit; a zero or negative interval
+    disables the thread entirely, leaving heartbeat counts at zero —
+    the deterministic ledger events are emitted either way.
+    """
+
+    def __init__(
+        self, progress: SweepProgress, interval: float = 1.0
+    ) -> None:
+        self.progress = progress
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        if self.interval > 0:
+            self._thread = threading.Thread(
+                target=self._run,
+                name="sweep-heartbeat",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 1.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.progress.tick()
+
+
+def default_progress_stream() -> TextIO:
+    """Where sweep progress belongs: stderr, never stdout."""
+    return sys.stderr

@@ -331,15 +331,33 @@ class TrendDelta:
 
 
 def read_trend(path: str) -> list[dict[str, Any]]:
-    """Every recorded trend point (empty when the log doesn't exist)."""
+    """Every recorded trend point (empty when the log doesn't exist).
+
+    Raises:
+        ArtifactError: if the log exists but contains a line that is not
+            a JSON object — the CLI maps this to exit 2.
+    """
+    from repro.errors import ArtifactError
+
     if not os.path.exists(path):
         return []
     points = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                points.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                point = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ArtifactError(
+                    f"{path}:{number}: not a trend point ({exc})"
+                ) from exc
+            if not isinstance(point, dict):
+                raise ArtifactError(
+                    f"{path}:{number}: trend point is not an object"
+                )
+            points.append(point)
     return points
 
 

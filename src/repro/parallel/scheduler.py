@@ -38,6 +38,11 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.lowerbound.driver import ExecutionCache
+from repro.obs.progress import (
+    HeartbeatMonitor,
+    SweepProgress,
+    default_progress_stream,
+)
 from repro.parallel.jobs import (
     CacheStats,
     JobResult,
@@ -285,11 +290,35 @@ class SweepScheduler:
             itself.  Both backends run the same job code path, so the
             spliced event order (``kind``/``name``/``cell_id``) is
             backend-independent.
+        progress: when true, a heartbeat thread keeps a live status
+            line (cells done/total, elapsed, ETA, stall flag) on the
+            progress stream while the sweep runs.  The line goes to
+            **stderr** (or the injected stream) only — stdout stays
+            machine-readable under ``--jobs N``.
+        heartbeat_interval: seconds between heartbeat ticks when
+            ``progress`` is enabled; nonpositive disables the thread
+            (cell lifecycle events still reach the ledger).
+        stall_after: quiet period (seconds without a completion) after
+            which the status line flags the sweep as stalled.
+        progress_stream: status-line destination; defaults to stderr.
+            Injectable so tests capture the line without a tty.
+
+    Whether or not ``progress`` is on, a carried ledger receives three
+    deterministic lifecycle events per cell — ``cell.start``, a
+    ``cell.heartbeat`` counter (value = ticks observed; wall-clock
+    telemetry, like ``cell.wall_seconds``) and ``cell.done`` — emitted
+    at gather time in submission order, so the spliced event *order*
+    stays backend-independent even though heartbeat counts differ run
+    to run.
     """
 
     jobs: int = 1
     timeout: float | None = None
     ledger: "RunLedger | None" = None
+    progress: bool = False
+    heartbeat_interval: float = 1.0
+    stall_after: float = 30.0
+    progress_stream: Any = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -306,24 +335,48 @@ class SweepScheduler:
         Cells appear in the report in submission order regardless of
         completion order; failures are per-cell, never sweep-aborting.
         """
+        from repro.obs.ledger import cell_label
+
         job_list = list(jobs)
         if self.ledger is not None:
             job_list = [
                 replace(job, ledger=True) for job in job_list
             ]
+        tracker = SweepProgress(
+            total=len(job_list),
+            stream=self._stream() if self.progress else None,
+            stall_after=self.stall_after,
+            label=f"sweep[{self.backend}]",
+        )
+        interval = self.heartbeat_interval if self.progress else 0.0
+        labels = [cell_label(job.key) for job in job_list]
         begin = time.perf_counter()
-        if self.backend == SERIAL:
-            cells = self._run_serial(job_list)
-        else:
-            cells = self._run_process(job_list)
+        with HeartbeatMonitor(tracker, interval=interval):
+            if self.backend == SERIAL:
+                cells = self._run_serial(job_list, tracker, labels)
+            else:
+                cells = self._run_process(job_list, tracker, labels)
+        if self.progress:
+            tracker.close()
         wall = time.perf_counter() - begin
-        return self._gather(cells, wall)
+        return self._gather(cells, wall, tracker)
+
+    def _stream(self) -> Any:
+        return (
+            self.progress_stream
+            if self.progress_stream is not None
+            else default_progress_stream()
+        )
 
     def _run_serial(
-        self, job_list: Sequence[SweepJob]
+        self,
+        job_list: Sequence[SweepJob],
+        tracker: SweepProgress,
+        labels: Sequence[str],
     ) -> list[SweepCell]:
         cells: list[SweepCell] = []
         for index, job in enumerate(job_list):
+            tracker.start(labels[index])
             begin = time.perf_counter()
             try:
                 result = execute_job(job)
@@ -345,16 +398,27 @@ class SweepScheduler:
                         wall_seconds=result.wall_seconds,
                     )
                 )
+            tracker.note_done(labels[index])
         return cells
 
     def _run_process(
-        self, job_list: Sequence[SweepJob]
+        self,
+        job_list: Sequence[SweepJob],
+        tracker: SweepProgress,
+        labels: Sequence[str],
     ) -> list[SweepCell]:
         cells: list[SweepCell] = []
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [
-                pool.submit(execute_job, job) for job in job_list
-            ]
+            futures = []
+            for label, job in zip(labels, job_list):
+                tracker.start(label)
+                future = pool.submit(execute_job, job)
+                # Completion callbacks run on executor threads; the
+                # tracker is lock-protected for exactly this.
+                future.add_done_callback(
+                    lambda _f, label=label: tracker.note_done(label)
+                )
+                futures.append(future)
             for index, (job, future) in enumerate(
                 zip(job_list, futures)
             ):
@@ -424,7 +488,10 @@ class SweepScheduler:
         )
 
     def _gather(
-        self, cells: Sequence[SweepCell], wall: float
+        self,
+        cells: Sequence[SweepCell],
+        wall: float,
+        tracker: SweepProgress,
     ) -> SweepReport:
         """Merge per-worker counters into the aggregate report.
 
@@ -444,7 +511,7 @@ class SweepScheduler:
         aggregate via ``AttackProfile.merge``.
         """
         cells = [self._verify_cell(cell) for cell in cells]
-        self._splice_ledger(cells)
+        self._splice_ledger(cells, tracker)
         merged = ExecutionCache()
         rounds_simulated = 0
         rounds_baseline = 0
@@ -482,16 +549,22 @@ class SweepScheduler:
             profile=profile,
         )
 
-    def _splice_ledger(self, cells: Sequence[SweepCell]) -> None:
+    def _splice_ledger(
+        self, cells: Sequence[SweepCell], tracker: SweepProgress
+    ) -> None:
         """Fold every cell's telemetry into the sweep ledger, in order.
 
-        For each cell (submission order): first the worker's shipped
-        event segment — run ids rewritten to the sweep's, worker ids and
-        timestamps preserved — then the gather's own view of the cell
-        (wall-clock gauge, error counter or certificate-verdict
-        artifact).  Certificate verdicts are emitted here, not in the
-        worker, because acceptance is decided by the gather step's
-        independent verifier.
+        For each cell (submission order): a ``cell.start`` marker, then
+        the worker's shipped event segment — run ids rewritten to the
+        sweep's, worker ids and timestamps preserved — then the
+        gather's own view of the cell (heartbeat count, wall-clock
+        gauge, error counter or certificate-verdict artifact) closed by
+        ``cell.done``.  Lifecycle events are serialized here rather
+        than live from the monitor thread so the spliced event *order*
+        is identical across backends; only the heartbeat/wall *values*
+        are wall-clock telemetry.  Certificate verdicts are emitted
+        here, not in the worker, because acceptance is decided by the
+        gather step's independent verifier.
         """
         from repro.obs.ledger import cell_label
 
@@ -499,8 +572,17 @@ class SweepScheduler:
             return
         for cell in cells:
             label = cell_label(cell.key)
+            self.ledger.emit(
+                "counter", "cell.start", value=1, cell_id=label
+            )
             if cell.result is not None and cell.result.events:
                 self.ledger.splice(cell.result.events)
+            self.ledger.emit(
+                "counter",
+                "cell.heartbeat",
+                value=tracker.heartbeats.get(label, 0),
+                cell_id=label,
+            )
             self.ledger.emit(
                 "gauge",
                 "cell.wall_seconds",
@@ -537,6 +619,13 @@ class SweepScheduler:
                     cell_id=label,
                     verdict="rejected",
                 )
+            self.ledger.emit(
+                "counter",
+                "cell.done",
+                value=1,
+                cell_id=label,
+                status="ok" if cell.ok else "error",
+            )
 
     @staticmethod
     def _verify_cell(cell: SweepCell) -> SweepCell:

@@ -50,6 +50,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import SimulationConfig
 
 
+def object_counts() -> dict[str, int]:
+    """A snapshot of the engine's object-materialization counters.
+
+    Monotone, interpreter-wide tallies of the objects the round loop
+    churns through: ``messages_materialized`` (every
+    :class:`~repro.sim.message.Message` built), ``behaviors_built``
+    (every :class:`~repro.sim.state.Behavior` record) and
+    ``channels_interned`` (distinct ``(sender, receiver)`` pairs the
+    channel cache has interned).  Consumers — the benchmark observatory
+    foremost — snapshot before and after a measured region and report
+    the delta (:func:`object_counts_delta`): an allocation-shaped view
+    of simulator cost that wall-clock timing cannot separate from
+    noise.
+    """
+    from repro.sim.message import MATERIALIZED
+    from repro.sim.state import BUILT
+
+    return {
+        "messages_materialized": MATERIALIZED.messages,
+        "behaviors_built": BUILT.behaviors,
+        "channels_interned": MATERIALIZED.channels,
+    }
+
+
+def object_counts_delta(before: dict[str, int]) -> dict[str, int]:
+    """The per-key growth of :func:`object_counts` since ``before``."""
+    after = object_counts()
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
 @dataclass(frozen=True)
 class RoundEvent:
     """Everything an omniscient observer sees of one simulated round.

@@ -21,6 +21,28 @@ _PAIR_CACHE: dict[
 ] = {}
 
 
+class _MaterializationCounts:
+    """Process-wide tallies of sim objects built since interpreter start.
+
+    Monotone, cheap (one integer increment at each construction site) and
+    never reset: consumers such as the benchmark observatory take
+    *deltas* around a measured region (see
+    :func:`repro.sim.engine.object_counts`).  The counts are a memory
+    proxy the wall clock cannot see — a kernel that got faster by
+    materializing twice as many messages shows up here.
+    """
+
+    __slots__ = ("messages", "channels")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.channels = 0
+
+
+MATERIALIZED = _MaterializationCounts()
+"""The interpreter-wide message/channel construction tallies."""
+
+
 def intern_pair(
     sender: ProcessId, receiver: ProcessId
 ) -> tuple[ProcessId, ProcessId]:
@@ -43,6 +65,7 @@ def intern_pair(
     if sender == receiver:
         raise ValueError("no process sends messages to itself (A.1)")
     _PAIR_CACHE[pair] = pair
+    MATERIALIZED.channels += 1
     return pair
 
 
@@ -77,6 +100,7 @@ class Message:
         object.__setattr__(
             self, "_hash", hash((pair, self.round, self.payload))
         )
+        MATERIALIZED.messages += 1
 
     def __hash__(self) -> int:
         return self._hash

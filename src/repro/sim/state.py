@@ -32,6 +32,24 @@ from repro.sim.message import Message
 from repro.types import Payload, ProcessId, Round
 
 
+class _BehaviorCounts:
+    """Process-wide tally of :class:`Behavior` records built.
+
+    The behavior-side companion of
+    :data:`repro.sim.message.MATERIALIZED`: consumers read deltas via
+    :func:`repro.sim.engine.object_counts`, never reset it.
+    """
+
+    __slots__ = ("behaviors",)
+
+    def __init__(self) -> None:
+        self.behaviors = 0
+
+
+BUILT = _BehaviorCounts()
+"""The interpreter-wide behavior construction tally."""
+
+
 @dataclass(frozen=True, slots=True)
 class StateSnapshot:
     """The observable state of a process at the start of a round (A.1.2).
@@ -246,6 +264,7 @@ class Behavior:
     def __post_init__(self) -> None:
         if not self.fragments:
             raise ValueError("a behavior has at least one fragment")
+        BUILT.behaviors += 1
 
     @property
     def process(self) -> ProcessId:

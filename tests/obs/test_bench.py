@@ -1,0 +1,294 @@
+"""Tests for the benchmark observatory (statistics, runner, trajectory).
+
+Tier-1 discipline: no real timing.  The runner tests inject a scripted
+clock, the statistics tests are pure functions of synthetic samples, and
+the comparison tests construct point payloads directly — so the suite is
+deterministic on any machine, loaded or not.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchError,
+    BenchKernel,
+    BenchRunner,
+    BenchStats,
+    append_points,
+    compare_points,
+    environment_fingerprint,
+    kernels,
+    read_bench_file,
+    register,
+    trajectory_file_name,
+)
+
+
+class TestBenchStats:
+    def test_upper_outlier_rejected(self):
+        stats = BenchStats.of([1.0, 1.1, 1.05, 1.02, 9.0])
+        assert stats.outliers_rejected == 1
+        assert stats.min == 1.0
+        assert 9.0 not in stats.kept
+        assert 9.0 in stats.samples  # raw samples stay recorded
+
+    def test_fast_samples_always_kept(self):
+        # One-sided rejection: a suspiciously fast sample is evidence
+        # about the true cost, never an outlier.
+        stats = BenchStats.of([5.0, 5.1, 5.05, 5.02, 0.5])
+        assert stats.outliers_rejected == 0
+        assert stats.min == 0.5
+
+    def test_noise_is_relative_iqr(self):
+        stats = BenchStats.of([1.0, 1.0, 1.0, 1.0, 1.0])
+        assert stats.noise == 0.0
+        spread = BenchStats.of([1.0, 1.2, 1.4, 1.6, 1.8])
+        assert spread.noise == pytest.approx(
+            spread.iqr / spread.median
+        )
+        assert spread.noise > 0.2
+
+    def test_single_sample(self):
+        stats = BenchStats.of([2.5])
+        assert stats.min == stats.median == 2.5
+        assert stats.noise == 0.0
+        assert stats.outliers_rejected == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BenchStats.of([])
+
+    def test_payload_round_trips_through_json(self):
+        stats = BenchStats.of([1.0, 1.2, 1.1])
+        payload = json.loads(json.dumps(stats.to_payload()))
+        assert payload["repetitions"] == 3
+        assert payload["median"] == stats.median
+        assert payload["samples"] == [1.0, 1.2, 1.1]
+
+
+class TestRegistry:
+    def test_register_and_filter(self):
+        register("_test_suite", "alpha", lambda: 1, quick=True)
+        register("_test_suite", "beta", lambda: 2)
+        selected = kernels(suites=["_test_suite"])
+        assert [kernel.name for kernel in selected] == ["alpha", "beta"]
+        quick = kernels(suites=["_test_suite"], quick=True)
+        assert [kernel.name for kernel in quick] == ["alpha"]
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(BenchError, match="unknown bench suite"):
+            kernels(suites=["no-such-suite-ever"])
+
+    def test_kernel_label(self):
+        kernel = BenchKernel(suite="s", name="k", fn=lambda: None)
+        assert kernel.label == "s/k"
+        assert kernel.key == ("s", "k")
+
+
+class FakeClock:
+    """A scripted clock: each call returns the next queued instant."""
+
+    def __init__(self, instants):
+        self.instants = list(instants)
+
+    def __call__(self):
+        return self.instants.pop(0)
+
+
+class TestBenchRunner:
+    def _kernel(self, calls):
+        return BenchKernel(
+            suite="s", name="k", fn=lambda: calls.append(1)
+        )
+
+    def test_fake_clock_samples(self):
+        # Three repetitions taking 1.0s, 2.0s and 3.0s on the scripted
+        # clock; one warmup call is untimed.
+        clock = FakeClock([0.0, 1.0, 10.0, 12.0, 20.0, 23.0])
+        calls = []
+        runner = BenchRunner(
+            repetitions=3,
+            warmup=1,
+            clock=clock,
+            trace_memory=False,
+            tier="quick",
+        )
+        point = runner.measure(self._kernel(calls))
+        # warmup + 3 timed + 1 accounting pass
+        assert len(calls) == 5
+        assert point.stats.samples == (1.0, 2.0, 3.0)
+        assert point.tier == "quick"
+        assert point.warmup == 1
+
+    def test_accounting_pass_counts_objects(self):
+        from repro.sim.message import Message
+
+        def build_messages():
+            return [Message(0, 1, 1, i) for i in range(5)]
+
+        clock = FakeClock([0.0, 1.0])
+        runner = BenchRunner(
+            repetitions=1, warmup=0, clock=clock, trace_memory=False
+        )
+        point = runner.measure(
+            BenchKernel(suite="s", name="m", fn=build_messages)
+        )
+        # The delta covers exactly the accounting pass's execution.
+        assert point.objects["messages_materialized"] == 5
+        assert point.tracemalloc_peak_bytes == 0  # tracing disabled
+
+    def test_tracemalloc_peak_positive_when_enabled(self):
+        clock = FakeClock([0.0, 1.0])
+        runner = BenchRunner(repetitions=1, warmup=0, clock=clock)
+        point = runner.measure(
+            BenchKernel(
+                suite="s", name="alloc", fn=lambda: bytearray(1 << 16)
+            )
+        )
+        assert point.tracemalloc_peak_bytes >= 1 << 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchRunner(repetitions=0)
+        with pytest.raises(ValueError):
+            BenchRunner(warmup=-1)
+
+    def test_point_payload_schema_and_fingerprint(self):
+        clock = FakeClock([0.0, 1.0])
+        runner = BenchRunner(
+            repetitions=1, warmup=0, clock=clock, trace_memory=False
+        )
+        point = runner.measure(
+            BenchKernel(suite="s", name="k", fn=lambda: None)
+        )
+        payload = point.to_payload()
+        assert payload["schema"] == BENCH_SCHEMA
+        for key in (
+            "git_sha",
+            "python",
+            "implementation",
+            "platform",
+            "cpu_count",
+        ):
+            assert key in payload["fingerprint"]
+
+
+class TestFingerprint:
+    def test_fields_present(self):
+        fingerprint = environment_fingerprint()
+        assert fingerprint["python"]
+        assert fingerprint["cpu_count"] >= 1
+
+
+def _measured_point(tmp_path_suite="s"):
+    clock = FakeClock([0.0, 1.0, 2.0, 3.5])
+    runner = BenchRunner(
+        repetitions=2, warmup=0, clock=clock, trace_memory=False
+    )
+    return runner.measure(
+        BenchKernel(suite=tmp_path_suite, name="k", fn=lambda: None)
+    )
+
+
+class TestTrajectoryFiles:
+    def test_append_creates_and_preserves_history(self, tmp_path):
+        directory = str(tmp_path / "nested" / "out")
+        written = append_points(directory, [_measured_point()])
+        assert written == [
+            str(tmp_path / "nested" / "out" / trajectory_file_name("s"))
+        ]
+        assert len(read_bench_file(written[0])) == 1
+        append_points(directory, [_measured_point()])
+        points = read_bench_file(written[0])
+        assert len(points) == 2  # the trajectory accumulates
+        assert all(p["schema"] == BENCH_SCHEMA for p in points)
+
+    def test_corrupt_file_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "BENCH_s.json"
+        path.write_text("{broken")
+        with pytest.raises(ArtifactError, match="not a bench"):
+            read_bench_file(str(path))
+
+    def test_wrong_schema_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "BENCH_s.json"
+        path.write_text(json.dumps({"schema": "other/v9", "points": []}))
+        with pytest.raises(ArtifactError, match="expected schema"):
+            read_bench_file(str(path))
+
+
+def _point_payload(suite, kernel, median, noise=0.0):
+    """A minimal persisted point for comparison tests."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "kernel": kernel,
+        "stats": {"median": median, "noise": noise},
+    }
+
+
+class TestCompare:
+    def test_self_comparison_is_clean(self):
+        points = [_point_payload("s", "k", 1.0, noise=0.05)]
+        report = compare_points(points, points)
+        assert report.ok
+        assert report.deltas[0].verdict == "ok"
+
+    def test_regression_beyond_default_gate_flagged(self):
+        baseline = [_point_payload("s", "k", 1.0, noise=0.0)]
+        current = [_point_payload("s", "k", 1.3, noise=0.0)]
+        report = compare_points(baseline, current)
+        assert not report.ok
+        delta = report.regressions[0]
+        assert delta.gate == pytest.approx(0.2)
+        assert delta.delta == pytest.approx(0.3)
+
+    def test_noise_widens_the_gate(self):
+        # Same 30% slowdown, but measured noise of 15% raises the gate
+        # to 3 × 0.15 = 45% — not flagged.
+        baseline = [_point_payload("s", "k", 1.0, noise=0.15)]
+        current = [_point_payload("s", "k", 1.3, noise=0.0)]
+        report = compare_points(baseline, current)
+        assert report.ok
+        assert report.deltas[0].gate == pytest.approx(0.45)
+
+    def test_regression_beyond_noise_gate_flagged(self):
+        baseline = [_point_payload("s", "k", 1.0, noise=0.15)]
+        current = [_point_payload("s", "k", 1.5, noise=0.0)]
+        report = compare_points(baseline, current)
+        assert not report.ok  # 50% > max(20%, 45%)
+
+    def test_improvement_beyond_gate_is_not_a_regression(self):
+        baseline = [_point_payload("s", "k", 1.0)]
+        current = [_point_payload("s", "k", 0.5)]
+        report = compare_points(baseline, current)
+        assert report.ok
+        assert report.deltas[0].verdict == "improved"
+
+    def test_missing_kernel_surfaced(self):
+        baseline = [
+            _point_payload("s", "k", 1.0),
+            _point_payload("s", "gone", 1.0),
+        ]
+        current = [_point_payload("s", "k", 1.0)]
+        report = compare_points(baseline, current)
+        assert report.missing == ("s/gone",)
+
+    def test_latest_point_wins(self):
+        # Two baseline points for the same kernel: the newer (later in
+        # file order) one is the baseline.
+        baseline = [
+            _point_payload("s", "k", 9.0),
+            _point_payload("s", "k", 1.0),
+        ]
+        current = [_point_payload("s", "k", 1.1)]
+        report = compare_points(baseline, current)
+        assert report.ok
+        assert report.deltas[0].baseline_median == 1.0
+
+    def test_render_names_the_gate(self):
+        points = [_point_payload("s", "k", 1.0)]
+        rendered = compare_points(points, points).render()
+        assert "gate = max(20%, 3x noise)" in rendered

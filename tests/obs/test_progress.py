@@ -1,0 +1,173 @@
+"""Tests for the sweep progress tracker (fake clock, string stream).
+
+No real threads or timers: the tests drive :meth:`SweepProgress.tick`
+and the clock by hand, so heartbeat counts, ETA arithmetic and the
+stall flag are all deterministic.
+"""
+
+import io
+
+from repro.obs.progress import (
+    HeartbeatMonitor,
+    SweepProgress,
+    _format_seconds,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def _tracker(total, stall_after=30.0, stream=None):
+    clock = FakeClock()
+    progress = SweepProgress(
+        total,
+        stream=stream,
+        stall_after=stall_after,
+        clock=clock,
+        label="sweep",
+    )
+    return progress, clock
+
+
+class TestHeartbeats:
+    def test_only_in_flight_cells_credited(self):
+        progress, _ = _tracker(3)
+        progress.start("a")
+        progress.tick()
+        progress.tick()
+        progress.start("b")
+        progress.tick()
+        progress.note_done("a")
+        progress.tick()
+        assert progress.heartbeats == {"a": 3, "b": 2}
+
+    def test_started_cell_without_ticks_records_zero(self):
+        progress, _ = _tracker(1)
+        progress.start("a")
+        progress.note_done("a")
+        assert progress.heartbeats == {"a": 0}
+
+    def test_done_counter(self):
+        progress, _ = _tracker(2)
+        progress.start("a")
+        progress.start("b")
+        assert progress.done == 0
+        progress.note_done("a")
+        assert progress.done == 1
+        progress.note_done("b")
+        assert progress.done == 2
+
+
+class TestStatusLine:
+    def test_line_shows_done_total_and_elapsed(self):
+        stream = io.StringIO()
+        progress, clock = _tracker(4, stream=stream)
+        progress.start("a")
+        clock.advance(5.0)
+        progress.note_done("a")
+        line = stream.getvalue()
+        assert "sweep: 1/4 cells" in line
+        assert "elapsed 5s" in line
+
+    def test_eta_extrapolates_from_throughput(self):
+        stream = io.StringIO()
+        progress, clock = _tracker(4, stream=stream)
+        progress.start("a")
+        clock.advance(10.0)
+        progress.note_done("a")
+        # One cell in 10s leaves three cells: ETA 30s.
+        assert "eta 30s" in stream.getvalue()
+        assert progress.eta_seconds() == 30.0
+
+    def test_no_eta_before_first_completion_or_after_last(self):
+        progress, clock = _tracker(2)
+        assert progress.eta_seconds() is None
+        progress.start("a")
+        clock.advance(1.0)
+        progress.note_done("a")
+        progress.note_done("b")
+        assert progress.eta_seconds() is None
+
+    def test_null_stream_keeps_accounting(self):
+        progress, _ = _tracker(2, stream=None)
+        progress.start("a")
+        progress.tick()
+        progress.note_done("a")  # must not raise
+        assert progress.heartbeats["a"] == 1
+
+    def test_non_tty_stream_gets_full_lines(self):
+        stream = io.StringIO()  # isatty() is False
+        progress, _ = _tracker(1, stream=stream)
+        progress.start("a")
+        progress.note_done("a")
+        assert stream.getvalue().endswith("\n")
+        assert "\r" not in stream.getvalue()
+
+
+class TestStall:
+    def test_quiet_period_raises_the_flag(self):
+        stream = io.StringIO()
+        progress, clock = _tracker(2, stall_after=30.0, stream=stream)
+        progress.start("slow")
+        progress.start("slower")
+        assert not progress.stalled
+        clock.advance(31.0)
+        assert progress.stalled
+        progress.tick()
+        line = stream.getvalue()
+        assert "STALLED 31s" in line
+        # The longest-running in-flight cell is named.
+        assert "longest in flight: slow" in line
+
+    def test_completion_resets_the_quiet_period(self):
+        progress, clock = _tracker(3, stall_after=30.0)
+        progress.start("a")
+        clock.advance(29.0)
+        progress.note_done("a")
+        clock.advance(2.0)
+        assert progress.stalled_for() == 2.0
+        assert not progress.stalled
+
+    def test_finished_sweep_never_stalled(self):
+        progress, clock = _tracker(1, stall_after=1.0)
+        progress.start("a")
+        progress.note_done("a")
+        clock.advance(100.0)
+        assert progress.stalled_for() == 0.0
+        assert not progress.stalled
+
+
+class TestMonitor:
+    def test_nonpositive_interval_disables_the_thread(self):
+        progress, _ = _tracker(1)
+        with HeartbeatMonitor(progress, interval=0.0) as monitor:
+            assert monitor._thread is None
+
+    def test_real_thread_ticks_and_joins(self):
+        # The one test with a real (tiny-interval) thread: liveness
+        # only — heartbeat counts are not asserted.
+        progress = SweepProgress(1, stall_after=60.0)
+        progress.start("a")
+        with HeartbeatMonitor(progress, interval=0.001):
+            deadline = 200
+            while not progress.heartbeats.get("a") and deadline:
+                import time
+
+                time.sleep(0.001)
+                deadline -= 1
+        assert progress.heartbeats["a"] >= 1
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert _format_seconds(41.4) == "41s"
+        assert _format_seconds(200) == "3m20s"
+        assert _format_seconds(3720) == "1h02m"

@@ -104,3 +104,73 @@ class TestSpliceOrder:
     def test_without_ledger_jobs_stay_untraced(self):
         report = SweepScheduler(jobs=1).run([AttackJob("silent", 8, 4)])
         assert report.cells[0].result.events is None
+
+
+class TestLifecycleEvents:
+    """The per-cell start/heartbeat/done triple emitted at gather time."""
+
+    def test_every_cell_bracketed_start_to_done(self):
+        ledger = RunLedger(run_id="r")
+        SweepScheduler(jobs=1, ledger=ledger).run(_attack_matrix())
+        for cell_id in (
+            "attack/silent/n8/t4",
+            "attack/ring-token/n12/t8",
+            "attack/silent/n12/t8",
+        ):
+            names = [
+                e.name for e in ledger.events if e.cell_id == cell_id
+            ]
+            # start opens the cell's block, done closes it, and the
+            # heartbeat count sits between the segment and the wall.
+            assert names[0] == "cell.start"
+            assert names[-1] == "cell.done"
+            assert names.index("cell.heartbeat") < names.index(
+                "cell.wall_seconds"
+            )
+
+    def test_heartbeat_order_matches_serial_backend(self):
+        # The acceptance criterion: a --jobs 2 sweep's spliced event
+        # order (start/heartbeat/done included) equals the serial one.
+        serial = RunLedger(run_id="s")
+        pooled = RunLedger(run_id="p")
+        SweepScheduler(jobs=1, ledger=serial).run(_attack_matrix())
+        SweepScheduler(jobs=2, ledger=pooled).run(_attack_matrix())
+        assert order_signature(serial.events) == order_signature(
+            pooled.events
+        )
+        beats = [
+            e for e in pooled.events if e.name == "cell.heartbeat"
+        ]
+        assert len(beats) == 3
+        assert all(isinstance(e.value, int) for e in beats)
+
+    def test_done_records_cell_status(self):
+        jobs = [
+            AttackJob("silent", 8, 4),
+            AttackJob("no-such-builder", 8, 4),
+        ]
+        ledger = RunLedger(run_id="r")
+        SweepScheduler(jobs=1, ledger=ledger).run(jobs)
+        statuses = {
+            e.cell_id: e.attr("status")
+            for e in ledger.events
+            if e.name == "cell.done"
+        }
+        assert statuses == {
+            "attack/silent/n8/t4": "ok",
+            "attack/no-such-builder/n8/t4": "error",
+        }
+
+    def test_progress_line_goes_to_the_injected_stream(self):
+        import io
+
+        stream = io.StringIO()
+        scheduler = SweepScheduler(
+            jobs=1,
+            progress=True,
+            heartbeat_interval=0.0,  # no monitor thread in tier-1
+            progress_stream=stream,
+        )
+        report = scheduler.run([AttackJob("silent", 8, 4)])
+        assert report.ok
+        assert "1/1 cells" in stream.getvalue()

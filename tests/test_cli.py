@@ -95,6 +95,34 @@ class TestLedgerCommands:
         assert main(["trace", missing]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_trace_corrupt_file_exits_two(self, tmp_path, capsys):
+        corrupt = tmp_path / "garbage.jsonl"
+        corrupt.write_text("this is not a ledger\n")
+        assert main(["trace", str(corrupt)]) == 2
+        captured = capsys.readouterr()
+        # One diagnostic line naming file and line, no traceback.
+        assert "error:" in captured.err
+        assert "garbage.jsonl:1" in captured.err
+        assert captured.out == ""
+
+    def test_trend_corrupt_log_exits_two(self, tmp_path, capsys):
+        log = tmp_path / "trend.jsonl"
+        log.write_text("{broken\n")
+        assert main(["report", "--trend", "--out", str(log)]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "not a trend point" in captured.err
+
+    def test_trend_out_creates_parent_directories(
+        self, tmp_path, capsys
+    ):
+        out = str(tmp_path / "deep" / "nested" / "trend.jsonl")
+        assert main(["report", "--trend", "--out", out]) == 0
+        capsys.readouterr()
+        import os
+
+        assert os.path.exists(out)
+
     def test_report_trend_appends_and_diffs(self, tmp_path, capsys):
         out = str(tmp_path / "trend.jsonl")
         assert main(["report", "--trend", "--out", out]) == 0
@@ -208,3 +236,170 @@ class TestWitnessFiles:
         )
         # Rejection details are diagnostics: stderr, not stdout.
         assert "REJECTED" in capsys.readouterr().err
+
+
+_TINY_BENCH_MODULE = '''
+"""A hermetic observatory kernel for the CLI tests."""
+
+from repro.obs.bench import register
+
+
+def _tiny_kernel():
+    assert sum(range(100)) == 4950
+
+
+register("clitest", "tiny_sum", _tiny_kernel, quick=True)
+'''
+
+
+class TestBenchCommands:
+    """The benchmark observatory CLI, run against a hermetic tmp suite."""
+
+    @pytest.fixture()
+    def bench_dir(self, tmp_path):
+        directory = tmp_path / "kernels"
+        directory.mkdir()
+        (directory / "bench_clitest.py").write_text(_TINY_BENCH_MODULE)
+        return str(directory)
+
+    def _run(self, bench_dir, out_dir):
+        return main(
+            [
+                "bench",
+                "run",
+                "--quick",
+                "--suite",
+                "clitest",
+                "--dir",
+                bench_dir,
+                "--out-dir",
+                out_dir,
+            ]
+        )
+
+    def test_run_writes_schema_versioned_trajectory(
+        self, bench_dir, tmp_path, capsys
+    ):
+        import json
+
+        out_dir = str(tmp_path / "out")
+        assert self._run(bench_dir, out_dir) == 0
+        captured = capsys.readouterr()
+        # Results table on stdout, measurement narration on stderr.
+        assert "tiny_sum" in captured.out
+        assert "measuring clitest/tiny_sum" in captured.err
+        assert "measuring" not in captured.out
+        document = json.loads(
+            (tmp_path / "out" / "BENCH_clitest.json").read_text()
+        )
+        assert document["schema"] == "repro.bench/v1"
+        (point,) = document["points"]
+        assert point["stats"]["repetitions"] == 3  # quick tier
+        assert point["tier"] == "quick"
+        assert point["memory"]["tracemalloc_peak_bytes"] >= 0
+        assert "messages_materialized" in point["objects"]
+        assert "git_sha" in point["fingerprint"]
+
+    def test_self_comparison_exits_zero(
+        self, bench_dir, tmp_path, capsys
+    ):
+        out_dir = str(tmp_path / "out")
+        assert self._run(bench_dir, out_dir) == 0
+        baseline = str(tmp_path / "out" / "BENCH_clitest.json")
+        assert (
+            main(
+                ["bench", "compare", baseline, "--out-dir", out_dir]
+            )
+            == 0
+        )
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_one(
+        self, bench_dir, tmp_path, capsys
+    ):
+        import json
+
+        out_dir = str(tmp_path / "out")
+        assert self._run(bench_dir, out_dir) == 0
+        trajectory = tmp_path / "out" / "BENCH_clitest.json"
+        slowed = json.loads(trajectory.read_text())
+        for point in slowed["points"]:
+            point["stats"]["median"] *= 10
+            point["stats"]["noise"] = 0.0
+        current = tmp_path / "slowed.json"
+        current.write_text(json.dumps(slowed))
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    str(trajectory),
+                    str(current),
+                ]
+            )
+            == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "compare", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        corrupt = tmp_path / "BENCH_x.json"
+        corrupt.write_text("{broken")
+        assert main(["bench", "compare", str(corrupt)]) == 2
+        assert "not a bench trajectory" in capsys.readouterr().err
+
+    def test_unknown_suite_exits_one(self, bench_dir, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "run",
+                    "--suite",
+                    "no-such-suite",
+                    "--dir",
+                    bench_dir,
+                ]
+            )
+            == 1
+        )
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_list_names_kernels_and_tiers(self, bench_dir, capsys):
+        assert main(["bench", "list", "--dir", bench_dir]) == 0
+        assert "clitest/tiny_sum [quick]" in capsys.readouterr().out
+
+
+class TestSweepProgress:
+    def test_jobs_sweep_keeps_stdout_machine_readable(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "silent",
+                    "--max-t",
+                    "4",
+                    "--jobs",
+                    "2",
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        # The live status line is stderr-only.
+        assert "cells" in captured.err
+        assert "cells" not in captured.out
+        assert "protocol" in captured.out  # the results table
+
+    def test_no_progress_flag_silences_the_line(self, capsys):
+        assert (
+            main(
+                ["sweep", "silent", "--max-t", "4", "--no-progress"]
+            )
+            == 0
+        )
+        assert "cells" not in capsys.readouterr().err

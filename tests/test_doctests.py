@@ -14,6 +14,7 @@ import pytest
 import repro.certify.format
 import repro.certify.verifier
 import repro.lowerbound.bound
+import repro.obs.bench
 import repro.obs.ledger
 import repro.obs.metrics
 import repro.sim.serialization
@@ -22,6 +23,7 @@ DOCUMENTED_MODULES = [
     repro.certify.format,
     repro.certify.verifier,
     repro.lowerbound.bound,
+    repro.obs.bench,
     repro.obs.ledger,
     repro.obs.metrics,
     repro.sim.serialization,
