@@ -313,6 +313,25 @@ def build_certificate(
     return Certificate(payload=payload)
 
 
+def read_certificate(path: str) -> Certificate:
+    """Load a certificate artifact *file*, with the uniform diagnostic.
+
+    The file-facing twin of :meth:`Certificate.loads`: a file that
+    exists but is not a v1 attack certificate raises the shared
+    :mod:`repro.artifact` one-liner (:class:`~repro.errors
+    .ArtifactError`, CLI exit 2) — a malformed artifact is an
+    environment failure, distinct from a well-formed certificate that
+    fails verification (a domain failure, exit 1).
+
+    Raises:
+        ArtifactError: when the document is not a v1 certificate.
+        OSError: when the file cannot be read.
+    """
+    from repro.artifact import load_artifact
+
+    return load_artifact(path, "attack certificate", Certificate.loads)
+
+
 def dump_certificate(certificate: Certificate) -> str:
     """Serialize a certificate to its canonical JSON artifact string."""
     return certificate.dumps()

@@ -11,9 +11,15 @@ Subcommands:
 * ``verify-cert`` — independently verify saved certificate artifacts;
   exit 1 with the first violated condition named on rejection.
 * ``classify`` — classify a named standard problem at ``(n, t)``.
-* ``trace`` — render a persisted run ledger as a phase-tree timeline.
-* ``report --trend`` — append a canary perf point to the trend log and
-  diff it against the previous point.
+* ``trace`` — render a persisted run recording (legacy ledger JSONL or
+  world log, sniffed) as a phase-tree timeline.
+* ``report --trend`` — append a canary perf point to the trend store
+  (legacy ``trend.jsonl`` or a world log) and diff it against the
+  previous point.
+* ``log show`` / ``log derive`` / ``log import`` / ``log resume`` —
+  the world-log toolbox: list an append-only record store, re-derive
+  the legacy artifact views from it, fold legacy files into a fresh
+  log, and finish an interrupted sweep from its recorded plan.
 * ``bench run`` / ``bench compare`` / ``bench list`` — the benchmark
   observatory: measure registered kernels outside pytest, append the
   points to per-suite ``BENCH_<suite>.json`` trajectories, and gate
@@ -117,8 +123,10 @@ def _ledger_option(subparser: argparse.ArgumentParser) -> None:
         "--ledger",
         metavar="PATH",
         help=(
-            "write the run's structured event ledger (JSONL) to PATH; "
-            "render it with 'repro trace PATH'"
+            "record the run to PATH: a '*.worldlog' suffix writes the "
+            "append-only world log (render with 'repro trace', derive "
+            "artifacts with 'repro log derive'); any other suffix "
+            "writes the legacy event-ledger JSONL"
         ),
     )
 
@@ -317,15 +325,95 @@ def build_parser() -> argparse.ArgumentParser:
             "(to stderr)"
         ),
     )
+    sweep_parser.add_argument(
+        "--resume",
+        metavar="LOG",
+        help=(
+            "resume an interrupted sweep from its world log: cells "
+            "whose terminal record survived are not re-executed, and "
+            "the finished run is bit-identical to an uninterrupted one"
+        ),
+    )
     _ledger_option(sweep_parser)
     _progress_options(sweep_parser)
 
+    log_parser = subparsers.add_parser(
+        "log",
+        help=(
+            "operate on append-only world logs: show records, derive "
+            "the legacy artifact views, import legacy files, resume "
+            "an interrupted sweep"
+        ),
+    )
+    log_sub = log_parser.add_subparsers(dest="log_command", required=True)
+    log_show = log_sub.add_parser(
+        "show", help="list a world log's records (tick, kind, cell)"
+    )
+    log_show.add_argument("path", help="world log file")
+    log_show.add_argument(
+        "--kind",
+        action="append",
+        metavar="KIND",
+        help="show only records of this kind (repeatable)",
+    )
+    log_derive = log_sub.add_parser(
+        "derive",
+        help=(
+            "re-derive the legacy artifact views (ledger JSONL, "
+            "certificates, checkpoints, bench trajectories, trend log) "
+            "from a world log"
+        ),
+    )
+    log_derive.add_argument("path", help="world log file")
+    log_derive.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="output directory (default: <log>.derived/)",
+    )
+    log_import = log_sub.add_parser(
+        "import",
+        help=(
+            "one-shot conversion: fold legacy artifacts (event "
+            "ledgers, certificates, bench trajectories, trend logs) "
+            "into one fresh world log"
+        ),
+    )
+    log_import.add_argument(
+        "paths", nargs="+", help="legacy artifact file(s)"
+    )
+    log_import.add_argument(
+        "--out",
+        metavar="LOG",
+        required=True,
+        help="the world log to create",
+    )
+    log_resume = log_sub.add_parser(
+        "resume",
+        help=(
+            "finish an interrupted sweep from its recorded plan: "
+            "already-recorded cells are not re-executed"
+        ),
+    )
+    log_resume.add_argument("path", help="world log file")
+    log_resume.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default: serial)",
+    )
+    _progress_options(log_resume)
+
     trace_parser = subparsers.add_parser(
         "trace",
-        help="render a persisted run ledger as a phase-tree timeline",
+        help=(
+            "render a persisted run recording (legacy ledger JSONL or "
+            "world log, sniffed) as a phase-tree timeline"
+        ),
     )
     trace_parser.add_argument(
-        "path", help="run ledger JSONL file (written via --ledger)"
+        "path",
+        help="run ledger JSONL file or world log (written via --ledger)",
     )
     trace_parser.add_argument(
         "--slowest",
@@ -353,7 +441,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help=(
-            "trend log to append to "
+            "trend store to append to: a legacy trend JSONL, or a "
+            "world log ('*.worldlog' or an existing log, sniffed) "
             "(default: benchmarks/reports/trend.jsonl)"
         ),
     )
@@ -501,17 +590,39 @@ def _resolve_protocol(name: str, n: int, t: int):
 
 
 def _make_ledger(path: str | None):
-    """A fresh :class:`RunLedger` when ``--ledger`` was given."""
+    """The recording pair ``(ledger, worldlog)`` for ``--ledger PATH``.
+
+    The compatibility shim: a ``*.worldlog`` path opens the append-only
+    world log and mirrors every ledger event into it write-through (the
+    ledger itself is the in-memory view layers already consume); any
+    other path keeps the legacy behavior — an in-memory ledger that
+    :func:`_write_ledger` persists as JSONL at the end.  Either element
+    may be ``None``.
+    """
     if not path:
-        return None
+        return None, None
     from repro.obs.ledger import RunLedger
 
-    return RunLedger()
+    if path.endswith(".worldlog"):
+        from repro.worldlog.store import WorldLog
+
+        worldlog = WorldLog.create(path)
+        return RunLedger(sink=worldlog.record_event), worldlog
+    return RunLedger(), None
 
 
-def _write_ledger(ledger, path: str | None) -> None:
-    """Persist and announce a run ledger (diagnostic, so stderr)."""
+def _write_ledger(ledger, worldlog, path: str | None) -> None:
+    """Persist and announce a run recording (diagnostic, so stderr)."""
     if ledger is None or not path:
+        return
+    if worldlog is not None:
+        records = len(worldlog.records)
+        worldlog.close()
+        _info(
+            f"world log written to {path} ({records} records, "
+            f"{len(ledger)} events); derive artifacts with "
+            f"'repro log derive {path}'"
+        )
         return
     ledger.write(path)
     _info(f"run ledger written to {path} ({len(ledger)} events)")
@@ -544,19 +655,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         kwargs = {}
         if getattr(args, "jobs", 1) != 1:
             kwargs["jobs"] = args.jobs
-        ledger = _make_ledger(getattr(args, "ledger", None))
+        ledger, worldlog = _make_ledger(getattr(args, "ledger", None))
         if ledger is not None:
             kwargs["ledger"] = ledger
         if hasattr(args, "progress") and _resolve_progress(args):
             kwargs["progress"] = True
             kwargs["stall_after"] = args.stall_after
         print(runner(**kwargs).report)
-        _write_ledger(ledger, getattr(args, "ledger", None))
+        _write_ledger(ledger, worldlog, getattr(args, "ledger", None))
         return 0
     if args.command == "all":
         import inspect
 
-        ledger = _make_ledger(args.ledger)
+        ledger, worldlog = _make_ledger(args.ledger)
         progress = _resolve_progress(args)
         for experiment_id, runner in ALL_EXPERIMENTS.items():
             # Sweep-shaped experiments accept a worker count and a
@@ -572,12 +683,12 @@ def _dispatch(args: argparse.Namespace) -> int:
                 kwargs["stall_after"] = args.stall_after
             print(runner(**kwargs).report)
             print()
-        _write_ledger(ledger, args.ledger)
+        _write_ledger(ledger, worldlog, args.ledger)
         return 0
     if args.command == "attack":
         from repro.obs.tracer import NULL_TRACER, LedgerTracer
 
-        ledger = _make_ledger(args.ledger)
+        ledger, worldlog = _make_ledger(args.ledger)
         tracer = (
             LedgerTracer(ledger) if ledger is not None else NULL_TRACER
         )
@@ -588,6 +699,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             early_stop=args.early_stop,
             profile=args.profile,
             tracer=tracer,
+            worldlog=worldlog,
         )
         print(outcome.render(profile=False))
         if outcome.profile is not None:
@@ -600,7 +712,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             with open(args.save, "w") as handle:
                 handle.write(dump_witness(outcome.witness))
             _info(f"witness written to {args.save}")
-        _write_ledger(ledger, args.ledger)
+        _write_ledger(ledger, worldlog, args.ledger)
         expected_violation = args.protocol in CHEATERS
         return 0 if outcome.found_violation == expected_violation else 1
     if args.command == "verify-witness":
@@ -700,10 +812,25 @@ def _dispatch(args: argparse.Namespace) -> int:
             ]
         else:
             grid = quadratic_parameter_grid(args.max_t)
-        ledger = _make_ledger(args.ledger)
+        if args.resume:
+            if args.ledger:
+                raise ReproError(
+                    "--resume names the world log to continue; "
+                    "--ledger would open a second recording target"
+                )
+            from repro.obs.ledger import RunLedger
+            from repro.worldlog.store import WorldLog
+
+            worldlog = WorldLog.resume(args.resume)
+            ledger = RunLedger(sink=worldlog.record_event)
+            target = args.resume
+        else:
+            ledger, worldlog = _make_ledger(args.ledger)
+            target = args.ledger
         report = SweepScheduler(
             jobs=args.jobs,
             ledger=ledger,
+            worldlog=worldlog,
             progress=_resolve_progress(args),
             stall_after=args.stall_after,
         ).run(
@@ -715,30 +842,59 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(render_sweep(points))
         if args.timings:
             _info(report.render())
-        _write_ledger(ledger, args.ledger)
+        _write_ledger(ledger, worldlog, target)
         try:
             print(f"fit: {fit_sweep(points).render()}")
         except ValueError:
             _info("fit: insufficient non-zero samples")
         return 0
+    if args.command == "log":
+        return _dispatch_log(args)
     if args.command == "trace":
-        from repro.obs.ledger import read_events
         from repro.obs.report import render_trace
+        from repro.worldlog.store import is_worldlog
 
-        events = read_events(args.path)
+        if is_worldlog(args.path):
+            from repro.worldlog.store import read_worldlog
+            from repro.worldlog.views import ledger_events
+
+            events = ledger_events(read_worldlog(args.path))
+        else:
+            from repro.obs.ledger import read_events
+
+            events = read_events(args.path)
         print(render_trace(events, slowest=args.slowest))
         return 0
     if args.command == "report":
+        import os
+
         from repro.obs.report import (
             TREND_PATH,
             append_trend,
+            trend_delta,
             trend_point,
         )
+        from repro.worldlog.store import is_worldlog
 
         out = args.out or TREND_PATH
         _info("running the trend canary (ring-token, n=12, t=8)...")
         point = trend_point()
-        delta = append_trend(out, point, threshold=args.threshold)
+        if out.endswith(".worldlog") or is_worldlog(out):
+            from repro.worldlog.store import WorldLog
+            from repro.worldlog.views import trend_points
+
+            worldlog = (
+                WorldLog.resume(out)
+                if os.path.exists(out)
+                else WorldLog.create(out)
+            )
+            history = trend_points(worldlog.records)
+            previous = history[-1] if history else None
+            worldlog.append("trend.point", point)
+            worldlog.close()
+            delta = trend_delta(point, previous, threshold=args.threshold)
+        else:
+            delta = append_trend(out, point, threshold=args.threshold)
         print(delta.render())
         _info(f"trend point appended to {out}")
         if args.strict and not delta.ok:
@@ -747,6 +903,79 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bench":
         return _dispatch_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_log(args: argparse.Namespace) -> int:
+    from repro.worldlog.store import read_worldlog
+
+    if args.log_command == "show":
+        records = read_worldlog(args.path)
+        kinds = set(args.kind or [])
+        print(
+            f"world log {args.path}: {len(records)} record(s), "
+            f"run {records[0].run_id}"
+        )
+        for record in records:
+            if kinds and record.kind not in kinds:
+                continue
+            cell = record.cell_id or "-"
+            name = record.name or ""
+            print(
+                f"{record.tick:>6}  {record.kind:<13} {cell:<24} {name}"
+            )
+        return 0
+    if args.log_command == "derive":
+        from repro.worldlog.views import derive_views
+
+        records = read_worldlog(args.path)
+        out_dir = args.out or f"{args.path}.derived"
+        written = derive_views(records, out_dir)
+        total = 0
+        for view in sorted(written):
+            for path in written[view]:
+                _info(f"{view}: {path}")
+                total += 1
+        print(f"{total} artifact(s) derived into {out_dir}")
+        return 0
+    if args.log_command == "import":
+        from repro.worldlog.legacy import import_legacy
+
+        counts = import_legacy(args.paths, args.out)
+        for family in sorted(counts):
+            _info(f"{family}: {counts[family]} record(s) imported")
+        print(
+            f"world log written to {args.out} "
+            f"({sum(counts.values())} record(s))"
+        )
+        return 0
+    if args.log_command == "resume":
+        from repro.obs.ledger import RunLedger
+        from repro.parallel import SweepScheduler
+        from repro.worldlog.resume import sweep_plan
+        from repro.worldlog.store import WorldLog
+
+        worldlog = WorldLog.resume(args.path)
+        jobs = sweep_plan(worldlog.records)
+        if jobs is None:
+            worldlog.close()
+            raise ReproError(
+                f"{args.path} records no sweep plan; only sweeps "
+                "recorded into a world log can be resumed"
+            )
+        ledger = RunLedger(sink=worldlog.record_event)
+        report = SweepScheduler(
+            jobs=args.jobs,
+            ledger=ledger,
+            worldlog=worldlog,
+            progress=_resolve_progress(args),
+            stall_after=args.stall_after,
+        ).run(jobs)
+        print(report.render())
+        _write_ledger(ledger, worldlog, args.path)
+        return 1 if report.errors() else 0
+    raise AssertionError(
+        f"unhandled log command {args.log_command!r}"
+    )
 
 
 def _bench_points(path: str) -> list[dict]:

@@ -20,8 +20,36 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.crypto.keys import KeyRegistry, SecretKey
-from repro.errors import SignatureError
+from repro.errors import ReproError, SignatureError
 from repro.types import ProcessId
+
+
+def _set_element_order(value: frozenset) -> list:
+    """Frozenset elements in the library's one canonical set order.
+
+    Delegates to the :mod:`repro.sim.serialization` policy — elements
+    sort by :func:`~repro.sim.serialization.canonical_json` of their
+    :func:`~repro.sim.serialization.encode_payload` encoding — so the
+    signing layer and the artifact codec canonicalize unordered
+    collections identically (one sort-key policy, one frozenset
+    canonicalization).  Values outside the codec's closed type set
+    (``canonical_content`` extension objects) fall back to sorting by
+    their own canonical byte encoding, which is equally
+    hash-seed-independent.
+    """
+    from repro.sim.serialization import canonical_json, encode_payload
+
+    def sort_key(element: Hashable) -> str:
+        try:
+            encoded = encode_payload(element)
+        except ReproError:
+            encoded = {
+                "k": "opaque",
+                "v": canonical_bytes(element).hex(),
+            }
+        return canonical_json(encoded)
+
+    return sorted(value, key=sort_key)
 
 
 def canonical_bytes(value: Hashable) -> bytes:
@@ -29,8 +57,11 @@ def canonical_bytes(value: Hashable) -> bytes:
 
     Supports ``None``, bools, ints, strings, bytes, tuples, frozensets and
     :class:`Signature` objects (so signature chains can be counter-signed).
-    Frozensets are serialized in sorted-by-encoding order, making the
-    encoding independent of hash randomization.
+    Frozensets are serialized in the library's one canonical set order
+    (the :mod:`repro.sim.serialization` sort-key policy, see
+    :func:`_set_element_order`), making the encoding independent of hash
+    randomization — and identical in element order to the serialization
+    codec's ``fset`` records.
 
     Type-strictness note: the encoding distinguishes ``True`` from ``1``
     and ``False`` from ``0`` (booleans get their own tag) — safer for
@@ -64,7 +95,10 @@ def canonical_bytes(value: Hashable) -> bytes:
         parts = b"".join(canonical_bytes(element) for element in value)
         return b"T" + str(len(value)).encode() + b":" + parts
     if isinstance(value, frozenset):
-        encoded = sorted(canonical_bytes(element) for element in value)
+        encoded = [
+            canonical_bytes(element)
+            for element in _set_element_order(value)
+        ]
         return b"F" + str(len(encoded)).encode() + b":" + b"".join(encoded)
     content_method = getattr(value, "canonical_content", None)
     if callable(content_method):

@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, Callable
 if TYPE_CHECKING:
     from repro.certify.format import Certificate
     from repro.obs.metrics import MetricsRegistry
+    from repro.worldlog.store import WorldLog
 
 from repro.errors import ModelViolation, ReproError
 from repro.lowerbound.bound import BoundComparison, weak_consensus_floor
@@ -323,6 +324,14 @@ class LowerBoundDriver:
             merge/swap produced the witness, and the final artifact
             embeds the evidence chain for
             :func:`repro.certify.verifier.verify_certificate`.
+        worldlog: an open :class:`~repro.worldlog.store.WorldLog` to
+            record in-band milestones into (default ``None``: no
+            records).  The driver appends a ``checkpoint`` record per
+            fault-free checkpointer it stores and — when ``certify`` is
+            on — a ``cert.artifact`` record carrying the assembled
+            certificate's exact canonical text, so the certificate view
+            derived from the log is byte-identical to the file the CLI
+            writes.  Recording never affects outcomes.
     """
 
     spec: ProtocolSpec
@@ -335,6 +344,7 @@ class LowerBoundDriver:
     profile: bool = False
     certify: bool = False
     tracer: Tracer = NULL_TRACER
+    worldlog: "WorldLog | None" = None
     _phase_timer: PhaseTimer | None = field(default=None, repr=False)
     _profiler: ProfilingObserver | None = field(default=None, repr=False)
     _metrics: "MetricsRegistry | None" = field(default=None, repr=False)
@@ -443,6 +453,13 @@ class LowerBoundDriver:
                 f"{len(certificate.execution_labels)} execution(s) "
                 "embedded"
             )
+            if self.worldlog is not None:
+                label = f"{self.spec.name}-n{self.spec.n}-t{self.spec.t}"
+                self.worldlog.append(
+                    "cert.artifact",
+                    {"label": label, "text": certificate.dumps()},
+                    cell_id=label,
+                )
         self._flush_telemetry(witness)
         return AttackOutcome(
             protocol=self.spec.name,
@@ -914,6 +931,18 @@ class LowerBoundDriver:
         self.cache.misses += 1
         if checkpointer is not None and checkpointer.enabled:
             self.cache.store_checkpointer(self._spec_key, bit, checkpointer)
+            if self.worldlog is not None:
+                self.worldlog.append(
+                    "checkpoint",
+                    {
+                        "protocol": self.spec.name,
+                        "n": self.spec.n,
+                        "t": self.spec.t,
+                        "bit": bit,
+                        "rounds": execution.rounds,
+                        "enabled": checkpointer.enabled,
+                    },
+                )
         return execution
 
     def _try_reuse(
@@ -1275,6 +1304,7 @@ def attack_weak_consensus(
     profile: bool = False,
     certify: bool = False,
     tracer: Tracer = NULL_TRACER,
+    worldlog: "WorldLog | None" = None,
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
 
@@ -1302,6 +1332,8 @@ def attack_weak_consensus(
         tracer: the structured-telemetry sink (a
             :class:`~repro.obs.tracer.LedgerTracer` to record the run
             ledger; the zero-overhead no-op by default).
+        worldlog: an open :class:`~repro.worldlog.store.WorldLog` for
+            in-band ``checkpoint`` and ``cert.artifact`` records.
     """
     driver = LowerBoundDriver(
         spec=spec,
@@ -1314,6 +1346,7 @@ def attack_weak_consensus(
         profile=profile,
         certify=certify,
         tracer=tracer,
+        worldlog=worldlog,
     )
     outcome = driver.attack()
     if minimize and outcome.witness is not None:

@@ -52,7 +52,7 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import ArtifactError, ReproError
+from repro.errors import ReproError
 
 BENCH_SCHEMA = "repro.bench/v1"
 """The schema tag stamped on every persisted benchmark point."""
@@ -479,25 +479,24 @@ def read_bench_file(path: str) -> list[dict[str, Any]]:
     Raises:
         OSError: when the file cannot be read.
         ArtifactError: when the document is not a known bench
-            trajectory (an environment failure; the CLI exits 2).
+            trajectory (an environment failure; the CLI exits 2).  The
+            diagnostic is the shared :mod:`repro.artifact` one-liner.
     """
-    with open(path, encoding="utf-8") as handle:
-        try:
-            document = json.load(handle)
-        except ValueError as error:
-            raise ArtifactError(
-                f"{path}: not a bench trajectory ({error})"
-            ) from error
-    if (
-        not isinstance(document, dict)
-        or document.get("schema") != BENCH_SCHEMA
-        or not isinstance(document.get("points"), list)
-    ):
-        raise ArtifactError(
-            f"{path}: not a bench trajectory (expected schema "
-            f"{BENCH_SCHEMA!r} with a points list)"
-        )
-    return document["points"]
+    from repro.artifact import load_artifact
+
+    def parse(text: str) -> list[dict[str, Any]]:
+        document = json.loads(text)
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != BENCH_SCHEMA
+            or not isinstance(document.get("points"), list)
+        ):
+            raise ValueError(
+                f"expected schema {BENCH_SCHEMA!r} with a points list"
+            )
+        return document["points"]
+
+    return load_artifact(path, "bench trajectory", parse)
 
 
 def append_points(

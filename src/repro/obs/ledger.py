@@ -169,6 +169,12 @@ class RunLedger:
             omitted).
         clock: the monotonic timestamp source (injectable for
             deterministic tests and doctests).
+        sink: optional callback invoked with every event as it is
+            appended — emitted *and* spliced, in append order.  This is
+            how the world log mirrors a live ledger
+            (``RunLedger(sink=worldlog.record_event)``): the derived
+            ledger view then reproduces :meth:`write` output
+            byte-for-byte.  The sink observes; it never mutates.
     """
 
     def __init__(
@@ -176,11 +182,18 @@ class RunLedger:
         run_id: str | None = None,
         worker_id: int | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        sink: Callable[[LedgerEvent], None] | None = None,
     ) -> None:
         self.run_id = new_run_id() if run_id is None else run_id
         self.worker_id = os.getpid() if worker_id is None else worker_id
         self._clock = clock
+        self._sink = sink
         self.events: list[LedgerEvent] = []
+
+    def _append(self, event: LedgerEvent) -> None:
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -209,7 +222,7 @@ class RunLedger:
             worker_id=self.worker_id,
             attrs=tuple(sorted(attrs.items())),
         )
-        self.events.append(event)
+        self._append(event)
         return event
 
     def segment(self) -> tuple[LedgerEvent, ...]:
@@ -225,7 +238,7 @@ class RunLedger:
         """
         count = 0
         for event in segment:
-            self.events.append(replace(event, run_id=self.run_id))
+            self._append(replace(event, run_id=self.run_id))
             count += 1
         return count
 
@@ -247,25 +260,15 @@ def read_events(path: str) -> list[LedgerEvent]:
     Raises:
         ArtifactError: if any line is not valid JSON or lacks a required
             event field — the file exists but is not a ledger, an
-            environment failure the CLI maps to exit 2.
+            environment failure the CLI maps to exit 2.  The diagnostic
+            is the shared :mod:`repro.artifact` ``file:line`` one-liner.
         OSError: if the file cannot be read at all.
     """
-    from repro.errors import ArtifactError
+    from repro.artifact import load_artifact_lines
 
-    events: list[LedgerEvent] = []
-    with open(path, encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(LedgerEvent.from_json(line))
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise ArtifactError(
-                    f"{path}:{number}: not a ledger event "
-                    f"({type(exc).__name__}: {exc})"
-                ) from exc
-    return events
+    return load_artifact_lines(
+        path, "ledger event", LedgerEvent.from_json
+    )
 
 
 def order_signature(

@@ -334,52 +334,37 @@ def read_trend(path: str) -> list[dict[str, Any]]:
     """Every recorded trend point (empty when the log doesn't exist).
 
     Raises:
-        ArtifactError: if the log exists but contains a line that is not
-            a JSON object — the CLI maps this to exit 2.
+        ArtifactError: if the log exists but contains a line that is
+            not a JSON object — the CLI maps this to exit 2.  The
+            diagnostic is the shared :mod:`repro.artifact` ``file:line``
+            one-liner.
     """
-    from repro.errors import ArtifactError
+    from repro.artifact import load_artifact_lines
 
-    if not os.path.exists(path):
-        return []
-    points = []
-    with open(path, encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                point = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ArtifactError(
-                    f"{path}:{number}: not a trend point ({exc})"
-                ) from exc
-            if not isinstance(point, dict):
-                raise ArtifactError(
-                    f"{path}:{number}: trend point is not an object"
-                )
-            points.append(point)
-    return points
+    def parse(line: str) -> dict[str, Any]:
+        point = json.loads(line)
+        if not isinstance(point, dict):
+            raise ValueError("line is not a JSON object")
+        return point
+
+    return load_artifact_lines(
+        path, "trend point", parse, missing_ok=True
+    )
 
 
-def append_trend(
-    path: str,
+def trend_delta(
     point: dict[str, Any],
+    previous: dict[str, Any] | None,
     threshold: float = 0.2,
 ) -> TrendDelta:
-    """Append ``point`` to the trend log and diff it against the last.
+    """Diff one trend point against its predecessor (pure, no I/O).
 
     A ``wall_seconds`` increase beyond ``threshold`` (default 20%) is a
     flagged regression; any change in the deterministic counters is
     surfaced as a note (it signals a behavior change, not noise).
+    Shared by the legacy ``trend.jsonl`` appender and the world-log
+    trend recorder — one comparison policy for both stores.
     """
-    history = read_trend(path)
-    previous = history[-1] if history else None
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(point))
-        handle.write("\n")
     regressions: list[str] = []
     notes: list[str] = []
     if previous is not None:
@@ -406,6 +391,26 @@ def append_trend(
         regressions=tuple(regressions),
         notes=tuple(notes),
     )
+
+
+def append_trend(
+    path: str,
+    point: dict[str, Any],
+    threshold: float = 0.2,
+) -> TrendDelta:
+    """Append ``point`` to the trend log and diff it against the last.
+
+    See :func:`trend_delta` for the comparison policy.
+    """
+    history = read_trend(path)
+    previous = history[-1] if history else None
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(point))
+        handle.write("\n")
+    return trend_delta(point, previous, threshold)
 
 
 def events_from(

@@ -53,6 +53,7 @@ from repro.parallel.jobs import (
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.obs.ledger import RunLedger
     from repro.parallel.profiling import AttackProfile
+    from repro.worldlog.store import WorldLog
 
 SERIAL = "serial"
 PROCESS = "process"
@@ -302,6 +303,20 @@ class SweepScheduler:
             which the status line flags the sweep as stalled.
         progress_stream: status-line destination; defaults to stderr.
             Injectable so tests capture the line without a tty.
+        worldlog: optional :class:`~repro.worldlog.store.WorldLog` the
+            sweep records itself into.  A fresh log receives one
+            ``sweep.plan`` record (the full job matrix) up front, one
+            terminal ``cell.result`` / ``cell.error`` record per cell
+            *as it completes* (write-through: each record is on disk
+            before the next cell is consumed), and a ``gather.start``
+            marker before the ledger splice.  A **resumed** log
+            (:meth:`WorldLog.resume`) makes the scheduler skip every
+            cell whose terminal record is already present — the
+            recorded job result is replayed through the normal gather
+            path (certificate re-verification included), so the final
+            report, certificates and spliced event order are
+            bit-identical to an uninterrupted run.  The plan recorded
+            in a resumed log must match the submitted matrix.
 
     Whether or not ``progress`` is on, a carried ledger receives three
     deterministic lifecycle events per cell — ``cell.start``, a
@@ -319,6 +334,7 @@ class SweepScheduler:
     heartbeat_interval: float = 1.0
     stall_after: float = 30.0
     progress_stream: Any = None
+    worldlog: "WorldLog | None" = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -342,6 +358,7 @@ class SweepScheduler:
             job_list = [
                 replace(job, ledger=True) for job in job_list
             ]
+        recorded = self._plan_and_recall(job_list)
         tracker = SweepProgress(
             total=len(job_list),
             stream=self._stream() if self.progress else None,
@@ -353,9 +370,13 @@ class SweepScheduler:
         begin = time.perf_counter()
         with HeartbeatMonitor(tracker, interval=interval):
             if self.backend == SERIAL:
-                cells = self._run_serial(job_list, tracker, labels)
+                cells = self._run_serial(
+                    job_list, tracker, labels, recorded
+                )
             else:
-                cells = self._run_process(job_list, tracker, labels)
+                cells = self._run_process(
+                    job_list, tracker, labels, recorded
+                )
         if self.progress:
             tracker.close()
         wall = time.perf_counter() - begin
@@ -373,10 +394,15 @@ class SweepScheduler:
         job_list: Sequence[SweepJob],
         tracker: SweepProgress,
         labels: Sequence[str],
+        recorded: dict[int, SweepCell],
     ) -> list[SweepCell]:
         cells: list[SweepCell] = []
         for index, job in enumerate(job_list):
             tracker.start(labels[index])
+            if index in recorded:
+                cells.append(recorded[index])
+                tracker.note_done(labels[index])
+                continue
             begin = time.perf_counter()
             try:
                 result = execute_job(job)
@@ -398,6 +424,7 @@ class SweepScheduler:
                         wall_seconds=result.wall_seconds,
                     )
                 )
+            self._record_cell(cells[-1])
             tracker.note_done(labels[index])
         return cells
 
@@ -406,22 +433,32 @@ class SweepScheduler:
         job_list: Sequence[SweepJob],
         tracker: SweepProgress,
         labels: Sequence[str],
+        recorded: dict[int, SweepCell],
     ) -> list[SweepCell]:
         cells: list[SweepCell] = []
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = []
-            for label, job in zip(labels, job_list):
+            futures: dict[int, Any] = {}
+            for index, (label, job) in enumerate(
+                zip(labels, job_list)
+            ):
                 tracker.start(label)
+                if index in recorded:
+                    # Terminal record already on disk: nothing to
+                    # submit; the gather loop replays the record.
+                    tracker.note_done(label)
+                    continue
                 future = pool.submit(execute_job, job)
                 # Completion callbacks run on executor threads; the
                 # tracker is lock-protected for exactly this.
                 future.add_done_callback(
                     lambda _f, label=label: tracker.note_done(label)
                 )
-                futures.append(future)
-            for index, (job, future) in enumerate(
-                zip(job_list, futures)
-            ):
+                futures[index] = future
+            for index, job in enumerate(job_list):
+                if index in recorded:
+                    cells.append(recorded[index])
+                    continue
+                future = futures[index]
                 begin = time.perf_counter()
                 try:
                     result = future.result(timeout=self.timeout)
@@ -452,7 +489,89 @@ class SweepScheduler:
                             wall_seconds=result.wall_seconds,
                         )
                     )
+                self._record_cell(cells[-1])
         return cells
+
+    def _plan_and_recall(
+        self, job_list: Sequence[SweepJob]
+    ) -> dict[int, SweepCell]:
+        """Record (or verify) the sweep plan; recall terminal records.
+
+        On a fresh world log, appends the ``sweep.plan`` record.  On a
+        resumed log, verifies the recorded plan matches the submitted
+        matrix and rebuilds a :class:`SweepCell` per cell whose
+        terminal ``cell.result`` / ``cell.error`` record survived —
+        those cells are skipped by the run loops and replayed through
+        the normal gather path.
+        """
+        if self.worldlog is None:
+            return {}
+        from repro.worldlog.codec import encode_job
+        from repro.worldlog.resume import (
+            check_plan,
+            completed_results,
+            has_plan,
+            recorded_errors,
+        )
+
+        records = self.worldlog.records
+        if has_plan(records):
+            check_plan(records, list(job_list))
+        else:
+            self.worldlog.append(
+                "sweep.plan",
+                {"jobs": [encode_job(job) for job in job_list]},
+            )
+        recalled: dict[int, SweepCell] = {}
+        for index, result in completed_results(records).items():
+            if 0 <= index < len(job_list):
+                recalled[index] = SweepCell(
+                    index=index,
+                    key=job_list[index].key,
+                    result=result,
+                    wall_seconds=result.wall_seconds,
+                )
+        for index, (error, wall) in recorded_errors(records).items():
+            if 0 <= index < len(job_list):
+                recalled[index] = SweepCell(
+                    index=index,
+                    key=job_list[index].key,
+                    error=error,
+                    wall_seconds=wall,
+                )
+        return recalled
+
+    def _record_cell(self, cell: SweepCell) -> None:
+        """Append a cell's terminal record, write-through, as it lands."""
+        if self.worldlog is None:
+            return
+        from repro.obs.ledger import cell_label
+        from repro.worldlog.codec import encode_job_result
+
+        label = cell_label(cell.key)
+        if cell.result is not None:
+            self.worldlog.append(
+                "cell.result",
+                {
+                    "index": cell.index,
+                    "result": encode_job_result(cell.result),
+                },
+                cell_id=label,
+            )
+        else:
+            assert cell.error is not None
+            self.worldlog.append(
+                "cell.error",
+                {
+                    "index": cell.index,
+                    "key": list(cell.key),
+                    "error_kind": cell.error.kind,
+                    "message": cell.error.message,
+                    "detail": cell.error.detail,
+                    "wall_seconds": cell.wall_seconds,
+                },
+                cell_id=label,
+            )
 
     def _recover(
         self, index: int, job: SweepJob, exc: BaseException
@@ -511,6 +630,12 @@ class SweepScheduler:
         aggregate via ``AttackProfile.merge``.
         """
         cells = [self._verify_cell(cell) for cell in cells]
+        if self.worldlog is not None:
+            # Marks the gather boundary: the derived ledger view keeps
+            # only ledger events after the *last* gather.start, so a
+            # crash mid-gather followed by a resume cannot duplicate
+            # spliced events.
+            self.worldlog.append("gather.start", {"cells": len(cells)})
         self._splice_ledger(cells, tracker)
         merged = ExecutionCache()
         rounds_simulated = 0

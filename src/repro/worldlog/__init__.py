@@ -1,0 +1,30 @@
+"""``repro.worldlog`` — the single append-only record store.
+
+One run writes one *world log*: a tick-ordered JSONL sequence of typed
+:class:`~repro.worldlog.record.Record` envelopes.  Everything the
+repository used to persist separately — ledger events, attack
+certificates, driver checkpoints, benchmark points, trend points — is a
+*view* derived by scanning the log (:mod:`repro.worldlog.views`); the
+log itself is the only thing any layer writes.  See
+``docs/WORLDLOG.md`` for the contract.
+"""
+
+from repro.worldlog.record import (
+    KINDS,
+    WORLDLOG_SCHEMA,
+    Record,
+    log_order_signature,
+)
+from repro.worldlog.store import WorldLog, is_worldlog, read_worldlog
+from repro.worldlog.views import derive_views
+
+__all__ = [
+    "KINDS",
+    "WORLDLOG_SCHEMA",
+    "Record",
+    "WorldLog",
+    "derive_views",
+    "is_worldlog",
+    "log_order_signature",
+    "read_worldlog",
+]

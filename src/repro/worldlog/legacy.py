@@ -1,0 +1,158 @@
+"""One-shot import of legacy artifacts into a world log.
+
+``repro log import`` keeps the object engine's existing artifacts
+readable across the storage transition: each input file is sniffed for
+which of the four legacy families it is — run-ledger JSONL, trend
+JSONL, ``BENCH_<suite>.json`` trajectory, attack-certificate JSON — and
+converted to the equivalent records.  Deriving the matching view from
+the imported log reproduces the input byte-for-byte (the payloads are
+carried verbatim), so importing is lossless and reversible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.artifact import load_artifact, load_artifact_lines
+from repro.errors import ArtifactError
+from repro.worldlog.store import WorldLog
+
+
+def sniff_family(path: str) -> str:
+    """Which legacy family ``path`` holds.
+
+    Returns one of ``"ledger"``, ``"trend"``, ``"bench"``,
+    ``"certificate"``.
+
+    Raises:
+        ArtifactError: when the file matches no known family.
+        OSError: when it cannot be read.
+    """
+    from repro.certify.format import CERTIFICATE_FORMAT
+    from repro.obs.bench import BENCH_SCHEMA
+    from repro.obs.ledger import EVENT_KINDS
+
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.strip()
+    first_line = stripped.split("\n", 1)[0] if stripped else ""
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict):
+        if (
+            first.get("kind") in EVENT_KINDS
+            and isinstance(first.get("name"), str)
+            and "ts" in first
+        ):
+            return "ledger"
+        if "wall_seconds" in first and "label" in first:
+            return "trend"
+    try:
+        document = json.loads(stripped)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict):
+        if document.get("schema") == BENCH_SCHEMA and isinstance(
+            document.get("points"), list
+        ):
+            return "bench"
+        if document.get("format") == CERTIFICATE_FORMAT:
+            return "certificate"
+    raise ArtifactError(
+        f"{path}: not a known legacy artifact (expected a run ledger, "
+        "a trend log, a bench trajectory or an attack certificate)"
+    )
+
+
+def _import_ledger(log: WorldLog, path: str) -> int:
+    def parse(line: str) -> dict[str, Any]:
+        record = json.loads(line)
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ValueError("line is not a ledger event object")
+        return record
+
+    events = load_artifact_lines(path, "ledger event", parse)
+    for event in events:
+        log.append(
+            "ledger.event",
+            payload=event,
+            cell_id=event.get("cell_id"),
+            worker_id=event.get("worker_id", 0),
+        )
+    return len(events)
+
+
+def _import_trend(log: WorldLog, path: str) -> int:
+    def parse(line: str) -> dict[str, Any]:
+        point = json.loads(line)
+        if not isinstance(point, dict):
+            raise ValueError("line is not a trend point object")
+        return point
+
+    points = load_artifact_lines(path, "trend point", parse)
+    for point in points:
+        log.append("trend.point", payload=point)
+    return len(points)
+
+
+def _import_bench(log: WorldLog, path: str) -> int:
+    from repro.obs.bench import read_bench_file
+
+    points = read_bench_file(path)
+    for point in points:
+        log.append("bench.point", payload=point)
+    return len(points)
+
+
+def _import_certificate(log: WorldLog, path: str) -> int:
+    from repro.certify.format import read_certificate
+
+    certificate = read_certificate(path)
+    label = os.path.basename(path)
+    if label.endswith(".cert.json"):
+        label = label[: -len(".cert.json")]
+    else:
+        label = (
+            f"{certificate.protocol}-n{certificate.n}"
+            f"-t{certificate.t}"
+        )
+    log.append(
+        "cert.artifact",
+        payload={"label": label, "text": certificate.dumps()},
+    )
+    return 1
+
+
+_IMPORTERS = {
+    "ledger": _import_ledger,
+    "trend": _import_trend,
+    "bench": _import_bench,
+    "certificate": _import_certificate,
+}
+
+
+def import_legacy(
+    paths: list[str], out_path: str
+) -> dict[str, int]:
+    """Convert legacy artifact files into one fresh world log.
+
+    Returns imported-record counts per family (only families that
+    contributed appear).
+
+    Raises:
+        ArtifactError: when an input matches no known family or is
+            malformed (CLI exit 2; nothing is partially written — the
+            sniff pass runs before the log is created).
+    """
+    families = [(path, sniff_family(path)) for path in paths]
+    counts: dict[str, int] = {}
+    with WorldLog.create(out_path) as log:
+        for path, family in families:
+            counts[family] = counts.get(family, 0) + _IMPORTERS[
+                family
+            ](log, path)
+    return counts

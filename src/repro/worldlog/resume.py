@@ -1,0 +1,88 @@
+"""Crash-resume: reading a sweep's progress back out of its world log.
+
+The resume contract (see ``docs/WORLDLOG.md``):
+
+* the scheduler writes one ``sweep.plan`` record before running any
+  cell — the full job matrix, so a resumed run can verify it is
+  finishing *the same sweep*;
+* each cell gets exactly one terminal record as it completes —
+  ``cell.result`` (the full shipped job result) or ``cell.error`` (the
+  structured failure);
+* a resumed run skips every cell whose terminal record is present,
+  replaying the recorded result into the normal gather path, and runs
+  the rest — so the final report, certificates and spliced event order
+  are bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+from repro.worldlog.codec import decode_job, decode_job_result
+from repro.worldlog.record import Record
+
+
+def sweep_plan(records: Iterable[Record]) -> list[Any] | None:
+    """The recorded job matrix, rebuilt — or ``None`` if never planned."""
+    for record in records:
+        if record.kind == "sweep.plan":
+            return [
+                decode_job(entry)
+                for entry in record.payload["jobs"]
+            ]
+    return None
+
+
+def has_plan(records: Iterable[Record]) -> bool:
+    """Whether the log already carries a ``sweep.plan`` record."""
+    return any(record.kind == "sweep.plan" for record in records)
+
+
+def check_plan(records: Iterable[Record], jobs: list[Any]) -> None:
+    """Verify the submitted matrix matches the recorded plan.
+
+    Raises:
+        ReproError: when the log was written by a different sweep —
+            resuming would silently mix incompatible cells.
+    """
+    recorded = sweep_plan(records)
+    if recorded is None:
+        return
+    if recorded != jobs:
+        raise ReproError(
+            "world log records a different sweep plan "
+            f"({len(recorded)} cell(s), first "
+            f"{recorded[0].key if recorded else None!r}); refusing to "
+            "resume a different matrix into it"
+        )
+
+
+def completed_results(records: Iterable[Record]) -> dict[int, Any]:
+    """Decoded :class:`JobResult` per cell index with a ``cell.result``."""
+    results: dict[int, Any] = {}
+    for record in records:
+        if record.kind == "cell.result":
+            results[record.payload["index"]] = decode_job_result(
+                record.payload["result"]
+            )
+    return results
+
+
+def recorded_errors(records: Iterable[Record]) -> dict[int, Any]:
+    """Recorded :class:`CellError` (plus wall time) per errored index."""
+    from repro.parallel.scheduler import CellError
+
+    errors: dict[int, Any] = {}
+    for record in records:
+        if record.kind == "cell.error":
+            payload = record.payload
+            errors[payload["index"]] = (
+                CellError(
+                    kind=payload["error_kind"],
+                    message=payload["message"],
+                    detail=payload.get("detail", ""),
+                ),
+                payload.get("wall_seconds", 0.0),
+            )
+    return errors

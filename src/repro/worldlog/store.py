@@ -1,0 +1,216 @@
+"""The world-log store: write-through appends, torn-tail-safe reads.
+
+A :class:`WorldLog` owns one JSONL file.  Appends are *write-through*:
+every record is serialized, written and flushed before ``append``
+returns, so a killed process leaves at most one torn final line — never
+a silently missing middle.  :func:`read_worldlog` is the matching
+reader: a final line with no trailing newline that fails to parse is a
+crash artifact and is dropped; any other malformed line is a corrupt
+log and raises the uniform :class:`~repro.errors.ArtifactError`.
+
+Opening modes:
+
+* :meth:`WorldLog.create` — start a fresh log; writes the ``log.open``
+  header (schema tag + run id) as tick 0.
+* :meth:`WorldLog.resume` — reopen an existing log and continue its
+  tick sequence; already-persisted records stay readable via
+  :attr:`WorldLog.records`, which is how crash-resume finds the cells
+  it may skip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any, TextIO
+
+from repro.artifact import artifact_error
+from repro.errors import ArtifactError
+from repro.worldlog.record import WORLDLOG_SCHEMA, Record
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.ledger import LedgerEvent
+
+
+class WorldLog:
+    """One append-only, tick-ordered record store on disk.
+
+    Not constructed directly — use :meth:`create` or :meth:`resume`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        handle: TextIO,
+        records: list[Record],
+        run_id: str,
+    ) -> None:
+        self.path = path
+        self._handle = handle
+        self.records = records
+        self.run_id = run_id
+
+    @classmethod
+    def create(cls, path: str, run_id: str | None = None) -> "WorldLog":
+        """Start a fresh log at ``path`` (parents created on demand)."""
+        from repro.obs.ledger import new_run_id
+
+        run_id = new_run_id() if run_id is None else run_id
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        handle = open(path, "w", encoding="utf-8")
+        log = cls(path=path, handle=handle, records=[], run_id=run_id)
+        log.append("log.open", {"schema": WORLDLOG_SCHEMA})
+        return log
+
+    @classmethod
+    def resume(cls, path: str) -> "WorldLog":
+        """Reopen an existing log, continuing its tick sequence.
+
+        A torn final line (the signature of a killed writer) is
+        truncated away before appending resumes; the surviving records
+        are exposed on :attr:`records` so callers can skip work whose
+        terminal record is already present.
+
+        Raises:
+            ArtifactError: if the file is not a world log.
+            OSError: if it cannot be read or reopened.
+        """
+        records = read_worldlog(path)
+        # Rewrite the surviving complete lines: this atomically drops a
+        # torn tail so the next append starts on a fresh line.
+        with open(path, "w", encoding="utf-8") as rewrite:
+            for record in records:
+                rewrite.write(record.to_json())
+                rewrite.write("\n")
+        handle = open(path, "a", encoding="utf-8")
+        return cls(
+            path=path,
+            handle=handle,
+            records=list(records),
+            run_id=records[0].run_id,
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __enter__(self) -> "WorldLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def next_tick(self) -> int:
+        """The tick the next appended record will carry."""
+        return self.records[-1].tick + 1 if self.records else 0
+
+    def append(
+        self,
+        kind: str,
+        payload: Any,
+        cell_id: str | None = None,
+        worker_id: int | None = None,
+    ) -> Record:
+        """Append one record and flush it to disk before returning."""
+        record = Record(
+            tick=self.next_tick,
+            kind=kind,
+            payload=payload,
+            run_id=self.run_id,
+            cell_id=cell_id,
+            worker_id=os.getpid() if worker_id is None else worker_id,
+        )
+        self._handle.write(record.to_json())
+        self._handle.write("\n")
+        self._handle.flush()
+        self.records.append(record)
+        return record
+
+    def record_event(self, event: "LedgerEvent") -> Record:
+        """Mirror one live ledger event into the log, verbatim.
+
+        This is the :class:`~repro.obs.ledger.RunLedger` sink: wire it
+        via ``RunLedger(sink=worldlog.record_event)`` and every event
+        the ledger accumulates — emitted or spliced — lands in the log
+        in the same order, so the derived ledger view is byte-identical
+        to what ``RunLedger.write`` would have persisted.
+        """
+        return self.append(
+            "ledger.event",
+            payload=json.loads(event.to_json()),
+            cell_id=event.cell_id,
+            worker_id=event.worker_id,
+        )
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def read_worldlog(path: str) -> list[Record]:
+    """Load a persisted world log, tolerating a torn final line.
+
+    The first record must be the ``log.open`` header carrying the
+    :data:`~repro.worldlog.record.WORLDLOG_SCHEMA` tag.  A final line
+    with no trailing newline that fails to parse is dropped (the
+    write-through appender guarantees that is the only shape a crash
+    can leave); a malformed line anywhere else raises.
+
+    Raises:
+        ArtifactError: if the file is not a world log (CLI exit 2).
+        OSError: if the file cannot be read.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    lines = text.split("\n")
+    complete_through = len(lines) if text.endswith("\n") else len(lines) - 1
+    records: list[Record] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(Record.from_json(line))
+        except (ValueError, KeyError, TypeError) as exc:
+            if number > complete_through:
+                break  # torn tail: the one legal crash artifact
+            raise artifact_error(
+                path, "world-log record", exc, line=number
+            ) from exc
+    if (
+        not records
+        or records[0].kind != "log.open"
+        or not isinstance(records[0].payload, dict)
+        or records[0].payload.get("schema") != WORLDLOG_SCHEMA
+    ):
+        raise ArtifactError(
+            f"{path}: not a world log (expected a log.open header "
+            f"with schema {WORLDLOG_SCHEMA!r})"
+        )
+    return records
+
+
+def is_worldlog(path: str) -> bool:
+    """Whether ``path`` exists and opens with a world-log header.
+
+    The schema sniff the transition-era readers (``repro trace``,
+    ``repro report --trend``) use to accept either a legacy artifact or
+    a world log.  Never raises.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        if not first:
+            return False
+        record = Record.from_json(first)
+    except (OSError, ValueError, KeyError, TypeError):
+        return False
+    return (
+        record.kind == "log.open"
+        and isinstance(record.payload, dict)
+        and record.payload.get("schema") == WORLDLOG_SCHEMA
+    )

@@ -145,3 +145,82 @@ class TestForgeryResistance:
             not scheme.verify(Signature(signer=0, tag=tag), ("target", 1))
             or tag == genuine
         )
+
+
+class TestCanonicalSetPolicy:
+    """One frozenset canonicalization, shared with the artifact codec.
+
+    ``canonical_bytes`` orders frozenset elements by the
+    :mod:`repro.sim.serialization` sort-key policy; the encoding must be
+    identical across interpreter hash seeds (frozenset iteration order
+    is seed-dependent) and must agree element-for-element with the
+    codec's ``fset`` ordering.
+    """
+
+    NESTED = (
+        "frozenset({frozenset({1, 'a', (2, b'x')}), "
+        "frozenset({None, True, 0}), 'z', (frozenset({3, 4}),)})"
+    )
+
+    def _hex_under_seed(self, seed: str) -> str:
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.crypto.signatures import canonical_bytes\n"
+            f"value = {self.NESTED}\n"
+            "print(canonical_bytes(value).hex())\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join("src"), env.get("PYTHONPATH")])
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return result.stdout.strip()
+
+    def test_nested_frozensets_stable_across_hash_seeds(self):
+        digests = {self._hex_under_seed(seed) for seed in ("0", "1", "42")}
+        assert len(digests) == 1
+
+    def test_element_order_matches_serialization_codec(self):
+        from repro.crypto.signatures import _set_element_order
+        from repro.sim.serialization import canonical_json, encode_payload
+
+        value = frozenset({(1, "b"), (1, "a"), (0, "z")})
+        ordered = _set_element_order(value)
+        expected = sorted(
+            value,
+            key=lambda element: canonical_json(encode_payload(element)),
+        )
+        assert ordered == expected
+
+    def test_opaque_content_objects_still_sort(self):
+        """canonical_content objects fall back to their byte encoding."""
+
+        class Custom:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def canonical_content(self):
+                return self.payload
+
+            def __hash__(self):
+                return hash(self.payload)
+
+            def __eq__(self, other):
+                return self.payload == other.payload
+
+        value = frozenset({Custom("b"), Custom("a")})
+        encoded = canonical_bytes(value)
+        assert canonical_bytes(Custom("a")) in encoded
+        # Deterministic regardless of construction order.
+        assert encoded == canonical_bytes(
+            frozenset({Custom("a"), Custom("b")})
+        )

@@ -403,3 +403,79 @@ class TestSweepProgress:
             == 0
         )
         assert "cells" not in capsys.readouterr().err
+
+
+class TestWorldLogCommands:
+    def _attack_into_worldlog(self, tmp_path):
+        log_path = str(tmp_path / "run.worldlog")
+        assert (
+            main(
+                [
+                    "attack",
+                    "silent",
+                    "--n",
+                    "8",
+                    "--t",
+                    "4",
+                    "--ledger",
+                    log_path,
+                ]
+            )
+            == 0
+        )
+        return log_path
+
+    def test_ledger_worldlog_shim_records(self, tmp_path, capsys):
+        log_path = self._attack_into_worldlog(tmp_path)
+        captured = capsys.readouterr()
+        assert "world log written" in captured.err
+        from repro.worldlog import read_worldlog
+
+        kinds = {record.kind for record in read_worldlog(log_path)}
+        assert {"log.open", "ledger.event", "checkpoint"} <= kinds
+
+    def test_log_show_lists_records(self, tmp_path, capsys):
+        log_path = self._attack_into_worldlog(tmp_path)
+        capsys.readouterr()
+        assert main(["log", "show", log_path]) == 0
+        out = capsys.readouterr().out
+        assert "record(s)" in out
+        assert "checkpoint" in out
+        assert (
+            main(["log", "show", log_path, "--kind", "checkpoint"]) == 0
+        )
+        filtered = capsys.readouterr().out
+        assert "ledger.event" not in filtered
+
+    def test_log_derive_writes_views(self, tmp_path, capsys):
+        log_path = self._attack_into_worldlog(tmp_path)
+        capsys.readouterr()
+        out_dir = str(tmp_path / "views")
+        assert main(["log", "derive", log_path, "--out", out_dir]) == 0
+        import os
+
+        assert os.path.exists(os.path.join(out_dir, "ledger.jsonl"))
+        assert os.path.exists(os.path.join(out_dir, "checkpoints.json"))
+
+    def test_trace_sniffs_a_world_log(self, tmp_path, capsys):
+        log_path = self._attack_into_worldlog(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", log_path]) == 0
+        assert "phase tree" in capsys.readouterr().out
+
+    def test_sweep_resume_conflicts_with_ledger(self, tmp_path, capsys):
+        log_path = str(tmp_path / "run.worldlog")
+        code = main(
+            [
+                "sweep",
+                "silent",
+                "--max-t",
+                "4",
+                "--resume",
+                log_path,
+                "--ledger",
+                log_path,
+            ]
+        )
+        # ReproError: a domain refusal, not an environment failure.
+        assert code == 1

@@ -11,6 +11,7 @@ import doctest
 
 import pytest
 
+import repro.artifact
 import repro.certify.format
 import repro.certify.verifier
 import repro.lowerbound.bound
@@ -18,8 +19,10 @@ import repro.obs.bench
 import repro.obs.ledger
 import repro.obs.metrics
 import repro.sim.serialization
+import repro.worldlog.record
 
 DOCUMENTED_MODULES = [
+    repro.artifact,
     repro.certify.format,
     repro.certify.verifier,
     repro.lowerbound.bound,
@@ -27,6 +30,7 @@ DOCUMENTED_MODULES = [
     repro.obs.ledger,
     repro.obs.metrics,
     repro.sim.serialization,
+    repro.worldlog.record,
 ]
 
 

@@ -1,0 +1,180 @@
+"""The record envelope and the append-only store.
+
+Covers the two load-bearing guarantees: appends are write-through (a
+crash leaves at most one torn final line) and reads are torn-tail-safe
+(the tail is dropped; any *other* malformed line is corruption and
+raises the uniform artifact diagnostic).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.worldlog import (
+    WORLDLOG_SCHEMA,
+    Record,
+    WorldLog,
+    is_worldlog,
+    log_order_signature,
+    read_worldlog,
+)
+
+
+class TestRecord:
+    def test_roundtrip(self):
+        record = Record(
+            tick=3,
+            kind="cell.result",
+            payload={"index": 1, "name": "x"},
+            run_id="r",
+            cell_id="cell",
+            worker_id=7,
+        )
+        assert Record.from_json(record.to_json()) == record
+
+    def test_envelope_key_order_is_fixed(self):
+        record = Record(tick=0, kind="log.open", payload={}, run_id="r")
+        keys = list(json.loads(record.to_json()))
+        assert keys == [
+            "tick",
+            "kind",
+            "run_id",
+            "cell_id",
+            "worker_id",
+            "payload",
+        ]
+
+    def test_payload_rendered_verbatim(self):
+        """The envelope embeds the payload's own canonical rendering.
+
+        This is what makes derived views byte-identical: re-dumping
+        ``record.payload`` reproduces exactly the bytes that were
+        appended.
+        """
+        payload = {"b": 1, "a": [None, True, "x"]}
+        record = Record(tick=1, kind="trend.point", payload=payload)
+        line = record.to_json()
+        assert json.dumps(payload) in line
+
+    def test_from_json_rejects_non_records(self):
+        with pytest.raises((ValueError, KeyError, TypeError)):
+            Record.from_json("[1, 2, 3]")
+        with pytest.raises((ValueError, KeyError, TypeError)):
+            Record.from_json('{"tick": "zero", "kind": "x"}')
+
+    def test_order_signature_triple(self):
+        records = [
+            Record(tick=0, kind="log.open", payload={}),
+            Record(
+                tick=1,
+                kind="ledger.event",
+                payload={"name": "cell.start"},
+                cell_id="c1",
+            ),
+            Record(tick=2, kind="cell.result", payload={}, cell_id="c1"),
+        ]
+        assert log_order_signature(records) == [
+            ("log.open", None, None),
+            ("ledger.event", "cell.start", "c1"),
+            ("cell.result", None, "c1"),
+        ]
+
+
+class TestWorldLog:
+    def test_create_appends_header(self, tmp_path):
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            log.append("trend.point", {"label": "x"})
+        records = read_worldlog(path)
+        assert records[0].kind == "log.open"
+        assert records[0].payload == {"schema": WORLDLOG_SCHEMA}
+        assert [record.tick for record in records] == [0, 1]
+
+    def test_append_is_write_through(self, tmp_path):
+        """Every appended record is on disk before append returns."""
+        path = str(tmp_path / "run.worldlog")
+        log = WorldLog.create(path, run_id="r")
+        log.append("trend.point", {"label": "x"})
+        # Read *without* closing the writer: a crash at this point must
+        # not lose the record.
+        assert len(read_worldlog(path)) == 2
+        log.close()
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            log.append("trend.point", {"label": "x"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"tick": 2, "kind": "cell.re')  # killed writer
+        assert len(read_worldlog(path)) == 2
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            log.append("trend.point", {"label": "x"})
+        text = open(path, encoding="utf-8").read()
+        lines = text.splitlines()
+        lines.insert(1, "garbage")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ArtifactError) as excinfo:
+            read_worldlog(path)
+        assert f"{path}:2: not a world-log record" in str(excinfo.value)
+
+    def test_resume_truncates_tail_and_continues_ticks(self, tmp_path):
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            log.append("trend.point", {"label": "x"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"tick": 2, "kind": "cell.re')
+        with WorldLog.resume(path) as log:
+            assert log.run_id == "r"
+            assert log.next_tick == 2
+            log.append("trend.point", {"label": "y"})
+        records = read_worldlog(path)
+        assert [record.tick for record in records] == [0, 1, 2]
+        assert records[-1].payload == {"label": "y"}
+
+    def test_not_a_world_log(self, tmp_path):
+        # A legacy ledger line is not a record envelope: file:line.
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ts": 1, "kind": "counter", "name": "x"}\n')
+        with pytest.raises(ArtifactError) as excinfo:
+            read_worldlog(str(path))
+        assert "not a world-log record" in str(excinfo.value)
+        # Valid record envelopes without the log.open header: rejected.
+        path = tmp_path / "headless.worldlog"
+        record = Record(tick=0, kind="trend.point", payload={})
+        path.write_text(record.to_json() + "\n")
+        with pytest.raises(ArtifactError) as excinfo:
+            read_worldlog(str(path))
+        assert "not a world log" in str(excinfo.value)
+
+    def test_is_worldlog_sniff(self, tmp_path):
+        log_path = str(tmp_path / "run.worldlog")
+        WorldLog.create(log_path, run_id="r").close()
+        legacy = tmp_path / "ledger.jsonl"
+        legacy.write_text('{"ts": 1, "kind": "counter", "name": "x"}\n')
+        assert is_worldlog(log_path)
+        assert not is_worldlog(str(legacy))
+        assert not is_worldlog(str(tmp_path / "missing"))
+
+    def test_record_event_mirrors_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            ledger = RunLedger(
+                run_id="r", worker_id=1, sink=log.record_event
+            )
+            ledger.emit("counter", "cache.hits", value=2, cell_id="c")
+        (record,) = [
+            record
+            for record in read_worldlog(path)
+            if record.kind == "ledger.event"
+        ]
+        assert record.cell_id == "c"
+        assert record.worker_id == 1
+        (event,) = ledger.events
+        assert json.dumps(record.payload) == event.to_json()
