@@ -92,7 +92,8 @@ def bench_sim_checkpoint_resume(benchmark):
     """
     spec = phase_king_spec(13, 4)
     config = SimulationConfig(n=13, t=4, rounds=spec.rounds, check=False)
-    checkpointer = MachineCheckpointer()
+    resume_at = spec.rounds // 2 + 1
+    checkpointer = MachineCheckpointer(rounds=[resume_at])
     base = run_execution(
         config,
         [1] * 13,
@@ -100,7 +101,6 @@ def bench_sim_checkpoint_resume(benchmark):
         NoFaults(),
         observers=[checkpointer],
     )
-    resume_at = spec.rounds // 2 + 1
     prefix = [
         [base.behavior(pid).fragment(r) for r in range(1, resume_at)]
         for pid in range(13)

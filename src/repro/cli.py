@@ -212,6 +212,18 @@ def build_parser() -> argparse.ArgumentParser:
             "print wall-clock phase and per-round timings (to stderr)"
         ),
     )
+    attack.add_argument(
+        "--kernel",
+        choices=("auto", "object", "mask"),
+        default="auto",
+        help=(
+            "round-engine selection: 'auto' runs the bitmask kernel "
+            "whenever representable, 'object' forces the per-message "
+            "engine, 'mask' requests the kernel (profiling/tracing "
+            "still fall back to the object engine); outcomes are "
+            "engine-independent"
+        ),
+    )
     _ledger_option(attack)
 
     verify = subparsers.add_parser(
@@ -700,6 +712,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             profile=args.profile,
             tracer=tracer,
             worldlog=worldlog,
+            kernel=args.kernel,
         )
         print(outcome.render(profile=False))
         if outcome.profile is not None:

@@ -43,6 +43,18 @@ runs resume at their isolation round, and quiescent scan spans collapse
 onto one simulation.  Both reuses produce bit-identical executions —
 machines are deterministic — so witnesses and verdicts are unchanged;
 the engine counters in :class:`AttackOutcome` report the savings.
+
+**The mask kernel.**  The driver's adversaries are exactly the family
+the bitmask kernel (:mod:`repro.sim.kernel`) compiles, so by default
+(``kernel="auto"``) simulation runs over per-round integer bitmasks
+instead of message objects: the fault-free run records a mask trace, the
+Lemma-4 scan fans candidates out of its shared prefix via
+:class:`~repro.sim.kernel.PrefixForker` (one machine deep-copy per
+divergence round instead of one per round boundary), and §2 complexity
+is popcount accumulation.  Traces materialize into bit-identical
+:class:`~repro.sim.execution.Execution` records on demand, so every
+downstream consumer — merges, swaps, witnesses, certificates — is
+engine-agnostic.
 """
 
 from __future__ import annotations
@@ -66,6 +78,7 @@ from repro.lowerbound.witnesses import (
     verify_witness,
 )
 from repro.omission.isolation import isolate_group, quiescent_toward
+from repro.omission.masks import compile_omissions
 from repro.omission.merge import MergeSpec, merge
 from repro.omission.swap import swap_omission_checked
 from repro.parallel.profiling import (
@@ -78,8 +91,17 @@ from repro.sim.engine import (
     EarlyStopPolicy,
     MachineCheckpointer,
     RoundObserver,
+    object_counts,
+    object_counts_delta,
 )
-from repro.sim.execution import Execution, majority_decision
+from repro.sim.execution import Execution, check_execution, majority_decision
+from repro.sim.kernel import (
+    KernelTrace,
+    PrefixForker,
+    fork_kernel,
+    no_faults_compiled,
+    run_kernel,
+)
 from repro.sim.metrics import StreamingComplexity
 from repro.sim.simulator import SimulationConfig, resume_execution
 from repro.types import Bit, Payload, ProcessId, Round
@@ -122,10 +144,11 @@ class ExecutionCache:
     ``hits`` counts exact key hits, ``alias_hits`` the semantic reuses,
     ``misses`` actual simulations.
 
-    Process-boundary note: ``_entries`` hold full execution traces and
-    ``_checkpointers`` hold live machine deep-copies — neither is ever
-    shipped across process boundaries.  A parallel sweep gives every
-    worker its own cache and sends back *counters only* (see
+    Process-boundary note: ``_entries`` hold full execution traces,
+    ``_checkpointers`` hold live machine deep-copies and
+    ``_kernel_states`` hold live mask traces with their fork machinery —
+    none is ever shipped across process boundaries.  A parallel sweep
+    gives every worker its own cache and sends back *counters only* (see
     :class:`repro.parallel.jobs.CacheStats`), which the scheduler folds
     into one aggregate via :meth:`merge_stats`.
     """
@@ -135,6 +158,7 @@ class ExecutionCache:
     misses: int = 0
     _entries: dict = field(default_factory=dict, repr=False)
     _checkpointers: dict = field(default_factory=dict, repr=False)
+    _kernel_states: dict = field(default_factory=dict, repr=False)
 
     def merge_stats(self, other) -> None:
         """Fold another cache's *counters* into this one (counters only).
@@ -190,6 +214,24 @@ class ExecutionCache:
     ) -> None:
         """Record the fault-free checkpointer for later resume calls."""
         self._checkpointers[(spec_key, bit)] = checkpointer
+
+    def kernel_state(
+        self, spec_key: _SpecKey, bit: Bit
+    ) -> "tuple[KernelTrace, PrefixForker] | None":
+        """The fault-free kernel trace and its forker, if recorded."""
+        return self._kernel_states.get((spec_key, bit))
+
+    def store_kernel_state(
+        self,
+        spec_key: _SpecKey,
+        bit: Bit,
+        state: "tuple[KernelTrace, PrefixForker]",
+    ) -> None:
+        """Record the mask-kernel analogue of the checkpointer: the
+        fault-free trace (the shared prefix) plus the
+        :class:`~repro.sim.kernel.PrefixForker` the Lemma-4 scan fans
+        out of."""
+        self._kernel_states[(spec_key, bit)] = state
 
 
 @dataclass(frozen=True)
@@ -332,6 +374,19 @@ class LowerBoundDriver:
             certificate's exact canonical text, so the certificate view
             derived from the log is byte-identical to the file the CLI
             writes.  Recording never affects outcomes.
+        kernel: which round engine simulates — ``"object"`` forces the
+            per-message object engine; ``"mask"`` requests the bitmask
+            kernel (:mod:`repro.sim.kernel`); ``"auto"`` (default)
+            selects the kernel whenever the run is kernel-representable.
+            The driver's adversaries (no-fault and Definition-1
+            isolation) always compile, so under ``auto`` the kernel
+            runs unless an engine-level observer is required: profiling
+            and live tracing consume per-round
+            :class:`~repro.sim.engine.RoundEvent` streams the kernel
+            does not produce, so both force the object engine (also
+            under ``"mask"``).  Both engines produce bit-identical
+            executions and therefore equal outcomes — witnesses,
+            bounds, logs and reuse counters; only speed differs.
     """
 
     spec: ProtocolSpec
@@ -345,6 +400,9 @@ class LowerBoundDriver:
     certify: bool = False
     tracer: Tracer = NULL_TRACER
     worldlog: "WorldLog | None" = None
+    kernel: str = "auto"
+    _use_kernel: bool = field(default=False, repr=False)
+    _counts_at_start: dict | None = field(default=None, repr=False)
     _phase_timer: PhaseTimer | None = field(default=None, repr=False)
     _profiler: ProfilingObserver | None = field(default=None, repr=False)
     _metrics: "MetricsRegistry | None" = field(default=None, repr=False)
@@ -388,6 +446,19 @@ class LowerBoundDriver:
                 floor=weak_consensus_floor(self.spec.t),
                 metrics=self._metrics,
             )
+            self._counts_at_start = object_counts()
+        if self.kernel not in ("auto", "object", "mask"):
+            raise ValueError(
+                f"kernel must be 'auto', 'object' or 'mask', "
+                f"not {self.kernel!r}"
+            )
+        # Profiling and live tracing need the object engine's per-round
+        # event stream; the kernel produces none, so they win.
+        self._use_kernel = (
+            self.kernel != "object"
+            and not self.profile
+            and not self.tracer.enabled
+        )
         self._spec_key: _SpecKey = (
             self.spec.name,
             self.spec.n,
@@ -914,11 +985,17 @@ class LowerBoundDriver:
         prefix resume.
         """
         assert self.cache is not None
+        if self._use_kernel:
+            return self._run_fault_free_kernel(bit, key)
         streaming = StreamingComplexity()
         observers: list[RoundObserver] = [streaming]
         checkpointer: MachineCheckpointer | None = None
         if self.reuse:
-            checkpointer = MachineCheckpointer()
+            # Only start-of-round states the Lemma-4 scan can actually
+            # resume from (from_round >= 2, within the horizon).
+            checkpointer = MachineCheckpointer(
+                rounds=range(2, self.spec.rounds + 1)
+            )
             observers.append(checkpointer)
         observers.extend(self._engine_observers())
         execution = self.spec.run_uniform(
@@ -941,6 +1018,55 @@ class LowerBoundDriver:
                         "bit": bit,
                         "rounds": execution.rounds,
                         "enabled": checkpointer.enabled,
+                    },
+                )
+        return execution
+
+    def _run_fault_free_kernel(self, bit: Bit, key: tuple) -> Execution:
+        """The mask-kernel fault-free run.
+
+        Instead of a :class:`MachineCheckpointer` deep-copying machines
+        at every registered round boundary, the cache records the mask
+        trace plus a :class:`~repro.sim.kernel.PrefixForker`; scan
+        candidates deep-copy once at their divergence round.  The
+        materialized execution is additionally pushed through
+        :func:`check_execution` when checking is on — fault-free traces
+        anchor witnesses and the observed bound, so they get the full
+        Appendix-A treatment even on the fast path.
+        """
+        assert self.cache is not None
+        proposals = [bit] * self.spec.n
+        trace = run_kernel(
+            self._sim_config(),
+            proposals,
+            self.spec.factory,
+            no_faults_compiled(self.spec.n),
+        )
+        execution = trace.to_execution()
+        if self.check:
+            check_execution(execution)
+        self._rounds_simulated += trace.rounds_run
+        messages = trace.message_complexity()
+        self._observe_messages(messages, execution=execution)
+        self.cache.store(key, _CacheEntry(execution, messages, True))
+        self.cache.misses += 1
+        if self.reuse:
+            forker = PrefixForker(
+                self._sim_config(), proposals, self.spec.factory, trace
+            )
+            self.cache.store_kernel_state(
+                self._spec_key, bit, (trace, forker)
+            )
+            if self.worldlog is not None:
+                self.worldlog.append(
+                    "checkpoint",
+                    {
+                        "protocol": self.spec.name,
+                        "n": self.spec.n,
+                        "t": self.spec.t,
+                        "bit": bit,
+                        "rounds": trace.rounds_run,
+                        "enabled": True,
                     },
                 )
         return execution
@@ -1004,6 +1130,10 @@ class LowerBoundDriver:
         early-stopped when only decisions are needed.
         """
         assert self.cache is not None
+        if self._use_kernel:
+            return self._simulate_isolation_kernel(
+                key, bit, members, from_round, horizon, full
+            )
         adversary = isolate_group(members, from_round)
         checkpointer = (
             self.cache.checkpointer(self._spec_key, bit)
@@ -1067,6 +1197,92 @@ class LowerBoundDriver:
         self.cache.misses += 1
         return execution
 
+    def _simulate_isolation_kernel(
+        self,
+        key: tuple,
+        bit: Bit,
+        members: frozenset[ProcessId],
+        from_round: Round,
+        horizon: int,
+        full: bool,
+    ) -> Execution:
+        """The batched mask-kernel isolation scan step.
+
+        Candidates with ``from_round >= 2`` fan out of the fault-free
+        prefix via the recorded :class:`~repro.sim.kernel.PrefixForker`
+        (one deep-copy at the divergence round, memoized across
+        candidates and bits of the scan) and simulate only their tail as
+        a mask delta.  The forker's prefix replays are checkpoint
+        *provisioning* — the kernel analogue of the object path's
+        per-round :class:`MachineCheckpointer` deep-copies — and like
+        those are excluded from the ``rounds_simulated`` counter, so the
+        two engines report identical reuse accounting (and outcomes stay
+        engine-independent under ``AttackOutcome`` equality).
+        """
+        assert self.cache is not None
+        compiled = compile_omissions(
+            isolate_group(members, from_round), self.spec.n
+        )
+        assert compiled is not None  # isolations always compile
+        state = (
+            self.cache.kernel_state(self._spec_key, bit)
+            if self.reuse
+            else None
+        )
+        if state is not None and 2 <= from_round <= horizon:
+            base_trace, forker = state
+            machines, _advanced = forker.machines_at(from_round)
+            if machines is not None:
+                # Touch the fault-free base through the cache exactly as
+                # the object resume path does (same hit accounting, same
+                # certification origin bookkeeping).
+                self._run(bit, None, None)
+                trace = fork_kernel(
+                    self._sim_config(),
+                    machines,
+                    compiled,
+                    base_trace,
+                    from_round,
+                )
+                execution = trace.to_execution()
+                self._rounds_simulated += horizon - from_round + 1
+                self._prefix_rounds_skipped += from_round - 1
+                messages = trace.message_complexity()
+                self._observe_messages(messages, execution=execution)
+                self.cache.store(
+                    key, _CacheEntry(execution, messages, True)
+                )
+                self.cache.misses += 1
+                return execution
+        early = "all" if self.early_stop and not full else None
+        trace = run_kernel(
+            self._sim_config(),
+            [bit] * self.spec.n,
+            self.spec.factory,
+            compiled,
+            early_stop=early,
+        )
+        execution = trace.to_execution()
+        self._rounds_simulated += trace.rounds_run
+        complete = trace.rounds_run == horizon
+        if not complete:
+            self._early_stops += 1
+        messages = trace.message_complexity()
+        if complete:
+            self._observe_messages(messages, execution=execution)
+        self.cache.store(key, _CacheEntry(execution, messages, complete))
+        self.cache.misses += 1
+        return execution
+
+    def _sim_config(self) -> SimulationConfig:
+        """The kernel-run configuration mirroring ``spec.run_uniform``."""
+        return SimulationConfig(
+            n=self.spec.n,
+            t=self.spec.t,
+            rounds=self.spec.rounds,
+            check=self.check,
+        )
+
     def _phase(self, name: str):
         """A span for ``name`` — timed and/or traced, no-op otherwise."""
         if self._phase_timer is None and not self.tracer.enabled:
@@ -1109,6 +1325,19 @@ class LowerBoundDriver:
             self._prefix_rounds_skipped
         )
         registry.counter("engine.early_stops").add(self._early_stops)
+        if self._counts_at_start is not None:
+            # Interpreter-wide materialization deltas over the attack:
+            # machine deep-copies plus the kernel's mask/popcount work
+            # (zero whenever tracing forced the object engine, which
+            # still documents *which* engine ran).
+            delta = object_counts_delta(self._counts_at_start)
+            registry.counter("engine.machine_snapshots").add(
+                delta["machine_snapshots"]
+            )
+            registry.counter("engine.masks_built").add(
+                delta["masks_built"]
+            )
+            registry.counter("engine.popcounts").add(delta["popcounts"])
         registry.counter("witness.found").add(1 if witness else 0)
         floor = weak_consensus_floor(self.spec.t)
         registry.gauge("bound.observed").set(self._max_messages)
@@ -1305,6 +1534,7 @@ def attack_weak_consensus(
     certify: bool = False,
     tracer: Tracer = NULL_TRACER,
     worldlog: "WorldLog | None" = None,
+    kernel: str = "auto",
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
 
@@ -1334,6 +1564,11 @@ def attack_weak_consensus(
             ledger; the zero-overhead no-op by default).
         worldlog: an open :class:`~repro.worldlog.store.WorldLog` for
             in-band ``checkpoint`` and ``cert.artifact`` records.
+        kernel: round-engine selection — ``"auto"`` (default) runs the
+            bitmask kernel whenever representable, ``"object"`` forces
+            the per-message engine, ``"mask"`` requests the kernel
+            (profiling/tracing still force the object engine; see
+            :class:`LowerBoundDriver`).  Outcomes are engine-independent.
     """
     driver = LowerBoundDriver(
         spec=spec,
@@ -1347,6 +1582,7 @@ def attack_weak_consensus(
         certify=certify,
         tracer=tracer,
         worldlog=worldlog,
+        kernel=kernel,
     )
     outcome = driver.attack()
     if minimize and outcome.witness is not None:

@@ -8,6 +8,8 @@
   Lemma-15 checks.
 * :mod:`repro.omission.merge` — Algorithm 5 (``merge``) with Definition 2
   (mergeability) and the Lemma-16 checks.
+* :mod:`repro.omission.masks` — compilation of the static omission
+  adversaries above to the bitmask kernel's AND-mask form.
 """
 
 from repro.omission.indistinguishability import (
@@ -27,6 +29,7 @@ from repro.omission.isolation import (
     isolate_group,
     quiescent_toward,
 )
+from repro.omission.masks import compile_omissions
 from repro.omission.merge import (
     MergeSpec,
     check_merge_inputs,
@@ -53,6 +56,7 @@ __all__ = [
     "check_isolated",
     "check_merge_inputs",
     "check_merge_result",
+    "compile_omissions",
     "divergence_profile",
     "first_distinguishing_round",
     "first_send_divergence",

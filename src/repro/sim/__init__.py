@@ -18,6 +18,10 @@ Public surface:
 * :class:`~repro.sim.metrics.ComplexityReport` /
   :class:`~repro.sim.metrics.StreamingComplexity` — message accounting
   (§2), post-hoc and streaming.
+* :mod:`repro.sim.kernel` — the bitmask round kernel: the same
+  semantics over per-round integer bitmasks for compiled omission
+  adversaries, with :class:`~repro.sim.kernel.KernelOracle`
+  cross-checking it against the object engine.
 """
 
 from repro.sim.adversary import (
@@ -49,6 +53,15 @@ from repro.sim.execution import (
     group_decisions,
     majority_decision,
     unanimous_decision,
+)
+from repro.sim.kernel import (
+    CompiledOmissions,
+    KernelOracle,
+    KernelTrace,
+    PrefixForker,
+    fork_kernel,
+    no_faults_compiled,
+    run_kernel,
 )
 from repro.sim.message import Message, broadcast_payload
 from repro.sim.metrics import (
@@ -101,6 +114,7 @@ __all__ = [
     "Behavior",
     "ByzantineAdversary",
     "ChattiestTargetAdversary",
+    "CompiledOmissions",
     "ComplexityReport",
     "CrashAdversary",
     "EarlyStopPolicy",
@@ -108,10 +122,13 @@ __all__ = [
     "ExecutionSummary",
     "Fragment",
     "IncrementalChecker",
+    "KernelOracle",
+    "KernelTrace",
     "MachineCheckpointer",
     "Message",
     "NoFaults",
     "OmissionSchedule",
+    "PrefixForker",
     "Process",
     "ProcessFactory",
     "ReplayProcess",
@@ -146,13 +163,16 @@ __all__ = [
     "signature_complexity",
     "weak_consensus_floor",
     "drive_replay",
+    "fork_kernel",
     "group_decisions",
     "initial_state",
     "majority_decision",
     "meets_lower_bound",
+    "no_faults_compiled",
     "quadratic_ratio",
     "resume_execution",
     "run_execution",
+    "run_kernel",
     "run_with_uniform_proposal",
     "unanimous_decision",
 ]

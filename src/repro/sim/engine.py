@@ -19,10 +19,10 @@ independently:
   have all decided.  Sound because decisions are write-once (A.1.5
   condition 6) and every protocol declares a sound ``max_rounds(n, t)``:
   the truncated run is a prefix of the full run with the same decisions.
-* :class:`MachineCheckpointer` — deep-copies the machine array at each
-  round boundary so a later simulation can *resume* mid-execution (used
-  by the lower-bound driver to share the fault-free prefix across the
-  Lemma-4 critical-round scan).
+* :class:`MachineCheckpointer` — deep-copies the machine array at
+  registered round boundaries so a later simulation can *resume*
+  mid-execution (used by the lower-bound driver to share the fault-free
+  prefix across the Lemma-4 critical-round scan).
 * :class:`~repro.sim.metrics.StreamingComplexity` — the incremental
   message-complexity accountant (lives with the other metrics).
 
@@ -56,13 +56,16 @@ def object_counts() -> dict[str, int]:
     Monotone, interpreter-wide tallies of the objects the round loop
     churns through: ``messages_materialized`` (every
     :class:`~repro.sim.message.Message` built), ``behaviors_built``
-    (every :class:`~repro.sim.state.Behavior` record) and
+    (every :class:`~repro.sim.state.Behavior` record),
     ``channels_interned`` (distinct ``(sender, receiver)`` pairs the
-    channel cache has interned).  Consumers — the benchmark observatory
-    foremost — snapshot before and after a measured region and report
-    the delta (:func:`object_counts_delta`): an allocation-shaped view
-    of simulator cost that wall-clock timing cannot separate from
-    noise.
+    channel cache has interned), ``machine_snapshots`` (machines
+    deep-copied by :class:`MachineCheckpointer`), plus the bitmask
+    kernel's representation counters ``masks_built`` and ``popcounts``
+    (see :mod:`repro.sim.kernel`).  Consumers — the benchmark
+    observatory foremost — snapshot before and after a measured region
+    and report the delta (:func:`object_counts_delta`): an
+    allocation-shaped view of simulator cost that wall-clock timing
+    cannot separate from noise.
     """
     from repro.sim.message import MATERIALIZED
     from repro.sim.state import BUILT
@@ -71,6 +74,9 @@ def object_counts() -> dict[str, int]:
         "messages_materialized": MATERIALIZED.messages,
         "behaviors_built": BUILT.behaviors,
         "channels_interned": MATERIALIZED.channels,
+        "machine_snapshots": SNAPSHOTS.machines,
+        "masks_built": MATERIALIZED.masks,
+        "popcounts": MATERIALIZED.popcounts,
     }
 
 
@@ -78,6 +84,19 @@ def object_counts_delta(before: dict[str, int]) -> dict[str, int]:
     """The per-key growth of :func:`object_counts` since ``before``."""
     after = object_counts()
     return {key: after[key] - before.get(key, 0) for key in after}
+
+
+class _SnapshotCounts:
+    """Machines deep-copied by :class:`MachineCheckpointer` (monotone)."""
+
+    __slots__ = ("machines",)
+
+    def __init__(self) -> None:
+        self.machines = 0
+
+
+SNAPSHOTS = _SnapshotCounts()
+"""The interpreter-wide machine-snapshot tally."""
 
 
 @dataclass(frozen=True)
@@ -456,7 +475,7 @@ class EarlyStopPolicy(RoundObserver):
 
 
 class MachineCheckpointer(RoundObserver):
-    """Deep-copies the machine array at every round boundary.
+    """Deep-copies the machine array at registered round boundaries.
 
     ``checkpoint(k)`` returns a *fresh* copy of the machines in their
     start-of-round-``k`` states, so a caller can resume simulation at
@@ -466,24 +485,40 @@ class MachineCheckpointer(RoundObserver):
     (the library-wide contract) whose state survives ``copy.deepcopy``;
     a machine that cannot be deep-copied disables the checkpointer
     rather than failing the run.
+
+    Snapshots are *lazy*: only rounds a consumer registered — via the
+    ``rounds`` constructor argument or :meth:`register` before the run
+    reaches them — are captured.  An unregistered checkpointer captures
+    nothing: historically it deep-copied the machine array at *every*
+    round boundary whether or not anyone would resume, which dominated
+    allocation on runs that never resumed.  The driver registers
+    exactly the resume rounds its scan can reach; deltas are visible in
+    ``object_counts()['machine_snapshots']``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, rounds: Sequence[Round] | None = None) -> None:
+        self._rounds: set[Round] = set() if rounds is None else set(rounds)
         self._snapshots: dict[Round, list[Process]] = {}
         self._machines: Sequence[Process] = ()
         self.enabled = True
 
+    def register(self, rounds: Sequence[Round]) -> None:
+        """Add rounds to snapshot (before the run passes them)."""
+        self._rounds.update(rounds)
+
     def on_run_start(self, config, machines, adversary) -> None:
         self._machines = machines
-        self._snapshot(1)
+        if 1 in self._rounds:
+            self._snapshot(1)
 
     def on_round(self, event: RoundEvent) -> None:
-        if self.enabled:
+        if self.enabled and event.round + 1 in self._rounds:
             self._snapshot(event.round + 1)
 
     def _snapshot(self, round_: Round) -> None:
         try:
             self._snapshots[round_] = copy.deepcopy(list(self._machines))
+            SNAPSHOTS.machines += len(self._snapshots[round_])
         except Exception:  # deepcopy-hostile machines: degrade gracefully
             self.enabled = False
             self._snapshots.clear()

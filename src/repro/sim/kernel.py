@@ -1,0 +1,728 @@
+"""The bitmask round kernel: a compiled-by-representation fast path.
+
+The object engine (:mod:`repro.sim.engine`) executes the synchronous
+round loop of §2/A.1 as per-``(sender, receiver)``
+:class:`~repro.sim.message.Message` objects wrapped in per-process
+:class:`~repro.sim.state.Fragment` records — the right representation
+for the proof constructions, and a wasteful one for the thousands of
+near-identical simulations the Lemma-4 isolation scan performs.  This
+module executes the *same* semantics over integer bitmasks:
+
+* each round's message pattern is one integer per sender whose bit ``r``
+  says "a message travels to ``r`` this round" (``n <= 64`` fits one
+  machine word; Python's arbitrary-precision integers *are* the limb
+  array beyond, so nothing changes for larger systems);
+* the omission adversaries the lower bound needs (``isolate_group``,
+  the no-fault adversary) compile to per-receiver
+  ``(threshold round, allowed-sender mask)`` pairs
+  (:class:`CompiledOmissions`, built by
+  :func:`repro.omission.masks.compile_omissions`) so applying the
+  adversary is one AND per receiver per round;
+* §2 message complexity becomes popcount accumulation over send masks.
+
+The kernel is *not* a second model implementation growing its own
+semantics: the object engine stays the oracle.  A
+:class:`KernelTrace` materializes — on demand — an
+:class:`~repro.sim.execution.Execution` record that is bit-identical
+(``==``, and byte-identical under serialization) to what
+:class:`~repro.sim.engine.TraceRecorder` records for the same machines
+and adversary, a claim enforced three ways in the test-suite: the
+golden-equivalence fixtures, the Hypothesis differential tests in
+``tests/sim/test_kernel_equivalence.py``, and the :class:`KernelOracle`
+observer which steps a shadow kernel against live engine rounds.
+
+Bit-identity mechanics worth knowing:
+
+* delivered mappings are built by ascending-bit iteration, which is
+  ascending *sender* order — exactly the object engine's inbox order;
+* outgoing mappings are validated inline with the same errors
+  (``validate_process_id`` / the self-message ``ProtocolViolation``) the
+  object engine raises, at the same round;
+* compiled adversaries never send-omit (Definition 1 isolations do
+  not), so ``send_omitted`` is structurally empty.
+
+:class:`PrefixForker` supports the batched isolation scan: a rolling
+machine array is advanced through the recorded fault-free schedule and
+deep-copied once per *fork round* (memoized), so candidates sharing a
+fault-free prefix pay one copy at their divergence round instead of a
+:class:`~repro.sim.engine.MachineCheckpointer` deep-copy at every round
+boundary.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import AdversaryError, ModelViolation, ProtocolViolation
+from repro.sim.engine import SNAPSHOTS, RoundObserver
+from repro.sim.execution import Execution
+from repro.sim.message import MATERIALIZED, Message
+from repro.sim.process import Process, ProcessFactory
+from repro.sim.state import Behavior, Fragment, StateSnapshot
+from repro.types import Payload, ProcessId, Round, validate_process_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import SimulationConfig
+
+
+def group_mask(members) -> int:
+    """The bitmask with exactly the bits of ``members`` set."""
+    mask = 0
+    for pid in members:
+        mask |= 1 << pid
+    return mask
+
+
+def mask_members(mask: int) -> list[ProcessId]:
+    """The ascending process ids whose bits are set in ``mask``."""
+    members: list[ProcessId] = []
+    while mask:
+        low = mask & -mask
+        members.append(low.bit_length() - 1)
+        mask ^= low
+    return members
+
+
+@dataclass(frozen=True)
+class CompiledOmissions:
+    """An omission adversary compiled to per-receiver AND-masks.
+
+    For receiver ``r``: in rounds ``>= thresholds[r]`` only senders
+    whose bit is set in ``restricted[r]`` get through; with
+    ``thresholds[r] is None`` every incoming message is delivered.
+    This is exactly the shape of Definition-1 isolations (and the
+    trivial no-fault adversary); richer adversaries do not compile and
+    the caller must fall back to the object engine.
+
+    Attributes:
+        n: system size the masks were compiled for.
+        corrupted: the adversary's static corruption set ``F``.
+        thresholds: per-receiver isolation round (``None`` = never).
+        restricted: per-receiver allowed-sender mask once the threshold
+            round is reached.
+    """
+
+    n: int
+    corrupted: frozenset[ProcessId]
+    thresholds: tuple[Round | None, ...]
+    restricted: tuple[int, ...]
+
+    def validate_budget(self, n: int, t: int) -> None:
+        """Mirror :meth:`repro.sim.adversary.Adversary.validate_budget`."""
+        if len(self.corrupted) > t:
+            raise AdversaryError(
+                f"adversary corrupts {len(self.corrupted)} > t={t}"
+            )
+        for pid in self.corrupted:
+            if not 0 <= pid < n:
+                raise AdversaryError(
+                    f"corrupted id {pid} outside range({n})"
+                )
+
+
+def no_faults_compiled(n: int) -> CompiledOmissions:
+    """The compiled no-fault adversary (nothing restricted, ever)."""
+    return CompiledOmissions(
+        n=n,
+        corrupted=frozenset(),
+        thresholds=(None,) * n,
+        restricted=((1 << n) - 1,) * n,
+    )
+
+
+class KernelRound:
+    """One simulated round in mask representation.
+
+    ``send_masks[s]`` has bit ``r`` set iff ``s`` sent to ``r``;
+    ``payloads[s]`` is the sender's ``receiver -> payload`` mapping;
+    ``recv_masks[r]`` / ``omit_masks[r]`` split the incoming senders of
+    ``r`` into delivered and receive-omitted; ``decisions`` are the
+    machine decisions *after* this round's delivery.
+    """
+
+    __slots__ = ("send_masks", "payloads", "recv_masks", "omit_masks",
+                 "decisions")
+
+    def __init__(self, send_masks, payloads, recv_masks, omit_masks,
+                 decisions) -> None:
+        self.send_masks = send_masks
+        self.payloads = payloads
+        self.recv_masks = recv_masks
+        self.omit_masks = omit_masks
+        self.decisions = decisions
+
+
+class KernelTrace:
+    """The mask-level record of one kernel run.
+
+    Everything the lower-bound driver asks of a simulation — decisions,
+    §2 message complexity, quiescence spans, and (on demand) the full
+    Appendix-A :class:`Execution` — is answered from the masks;
+    materialization happens once, lazily, and is cached.
+
+    A trace produced by :func:`fork_kernel` *shares* its prefix rounds'
+    :class:`KernelRound` rows with the fault-free base trace (structural
+    prefix memoization), and borrows the base execution's already-built
+    :class:`Fragment` objects when materializing — the mask analogue of
+    :class:`~repro.sim.engine.TraceRecorder`'s resume prefix.
+    """
+
+    __slots__ = ("n", "t", "proposals", "corrupted", "rounds",
+                 "prefix_rounds", "prefix_execution", "_execution")
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        proposals: tuple[Payload, ...],
+        corrupted: frozenset[ProcessId],
+        rounds: list[KernelRound],
+        prefix_rounds: int = 0,
+        prefix_execution: Execution | None = None,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.proposals = proposals
+        self.corrupted = corrupted
+        self.rounds = rounds
+        self.prefix_rounds = prefix_rounds
+        self.prefix_execution = prefix_execution
+        self._execution: Execution | None = None
+
+    @property
+    def rounds_run(self) -> int:
+        """Rounds recorded (shared prefix included)."""
+        return len(self.rounds)
+
+    def decision(self, pid: ProcessId) -> Payload | None:
+        """The final decision of ``pid`` (``None`` if undecided)."""
+        return self.rounds[-1].decisions[pid]
+
+    def decisions(self) -> tuple[Payload | None, ...]:
+        """All final decisions, indexed by process id."""
+        return self.rounds[-1].decisions
+
+    def message_complexity(self) -> int:
+        """§2 message complexity: popcount over correct send masks."""
+        corrupted = self.corrupted
+        senders = [pid for pid in range(self.n) if pid not in corrupted]
+        total = 0
+        popcounts = 0
+        for row in self.rounds:
+            masks = row.send_masks
+            for pid in senders:
+                total += masks[pid].bit_count()
+            popcounts += len(senders)
+        MATERIALIZED.popcounts += popcounts
+        return total
+
+    def quiescent_toward(self, members, lo: Round, hi: Round) -> bool:
+        """Mask form of :func:`repro.omission.isolation.quiescent_toward`.
+
+        ``True`` iff no message from outside ``members`` targets a
+        member (delivered *or* omitted) in rounds ``[lo, hi)``.
+        """
+        outside = ~group_mask(members)
+        pids = sorted(members)
+        for index in range(lo - 1, min(hi - 1, len(self.rounds))):
+            row = self.rounds[index]
+            for pid in pids:
+                if (row.recv_masks[pid] | row.omit_masks[pid]) & outside:
+                    return False
+        return True
+
+    def to_execution(self) -> Execution:
+        """Materialize (once) the bit-identical :class:`Execution`."""
+        if self._execution is None:
+            self._execution = self._materialize()
+        return self._execution
+
+    def _materialize(self) -> Execution:
+        n = self.n
+        fragments: list[list[Fragment]] = [[] for _ in range(n)]
+        start_index = 0
+        if self.prefix_execution is not None and self.prefix_rounds:
+            start_index = self.prefix_rounds
+            for pid in range(n):
+                fragments[pid].extend(
+                    self.prefix_execution.behavior(pid)
+                    .fragments[: self.prefix_rounds]
+                )
+        for index in range(start_index, len(self.rounds)):
+            row = self.rounds[index]
+            previous = (
+                self.rounds[index - 1].decisions if index else None
+            )
+            for pid, fragment in enumerate(
+                _round_fragments(
+                    row, index + 1, n, self.proposals, previous
+                )
+            ):
+                fragments[pid].append(fragment)
+        final_decisions = self.rounds[-1].decisions
+        final_round = len(self.rounds) + 1
+        behaviors = tuple(
+            Behavior(
+                tuple(fragments[pid]),
+                final_state=StateSnapshot(
+                    process=pid,
+                    round=final_round,
+                    proposal=self.proposals[pid],
+                    decision=final_decisions[pid],
+                ),
+            )
+            for pid in range(n)
+        )
+        return Execution(
+            n=n, t=self.t, faulty=self.corrupted, behaviors=behaviors
+        )
+
+
+def _round_fragments(
+    row: KernelRound,
+    round_: Round,
+    n: int,
+    proposals: Sequence[Payload],
+    previous_decisions: Sequence[Payload | None] | None,
+) -> list[Fragment]:
+    """Materialize one round's fragments from its mask row.
+
+    ``previous_decisions`` are the machine decisions after the previous
+    round (a state carries the decision *at the start* of its round);
+    ``None`` means round 1, where nobody has decided yet.
+    """
+    sent: list[list[Message]] = [[] for _ in range(n)]
+    received: list[list[Message]] = [[] for _ in range(n)]
+    omitted: list[list[Message]] = [[] for _ in range(n)]
+    for sender in range(n):
+        mask = row.send_masks[sender]
+        payloads = row.payloads[sender]
+        sender_bit = 1 << sender
+        while mask:
+            low = mask & -mask
+            receiver = low.bit_length() - 1
+            message = Message(
+                sender, receiver, round_, payloads[receiver]
+            )
+            sent[sender].append(message)
+            if row.recv_masks[receiver] & sender_bit:
+                received[receiver].append(message)
+            else:
+                omitted[receiver].append(message)
+            mask ^= low
+    empty: frozenset[Message] = frozenset()
+    return [
+        Fragment(
+            state=StateSnapshot(
+                process=pid,
+                round=round_,
+                proposal=proposals[pid],
+                decision=(
+                    previous_decisions[pid]
+                    if previous_decisions is not None
+                    else None
+                ),
+            ),
+            sent=frozenset(sent[pid]),
+            send_omitted=empty,
+            received=frozenset(received[pid]),
+            receive_omitted=frozenset(omitted[pid]),
+        )
+        for pid in range(n)
+    ]
+
+
+def _step_round(
+    machines: Sequence[Process],
+    n: int,
+    round_: Round,
+    compiled: CompiledOmissions,
+) -> KernelRound:
+    """Simulate one round over masks: collect, AND, deliver.
+
+    The send phase accumulates three views in one pass over the
+    outgoing mappings — per-sender send masks, per-receiver incoming
+    masks, and per-receiver ascending sender lists (ascending because
+    the outer loop is) — so the delivery phase never iterates bits:
+    unrestricted receivers get one dict comprehension, restricted ones
+    one AND plus a filtered comprehension.
+    """
+    thresholds = compiled.thresholds
+    restricted = compiled.restricted
+    send_masks = [0] * n
+    incoming = [0] * n
+    senders_of: list[list[ProcessId]] = [[] for _ in range(n)]
+    payload_rows: list[dict[ProcessId, Payload]] = []
+    for pid, machine in enumerate(machines):
+        mapping = machine.outgoing(round_)
+        mask = 0
+        sender_bit = 1 << pid
+        for receiver in mapping:
+            if 0 <= receiver < n and receiver != pid:
+                mask |= 1 << receiver
+                incoming[receiver] |= sender_bit
+                senders_of[receiver].append(pid)
+            else:
+                # Reproduce the object engine's validation errors
+                # (validate_outgoing) exactly, including their order.
+                validate_process_id(receiver, n)
+                raise ProtocolViolation(
+                    f"p{pid} attempted a self-message in round {round_}"
+                )
+        send_masks[pid] = mask
+        payload_rows.append(dict(mapping))
+    recv_masks = [0] * n
+    omit_masks = [0] * n
+    for pid, machine in enumerate(machines):
+        arrived = incoming[pid]
+        threshold = thresholds[pid]
+        if threshold is not None and round_ >= threshold:
+            allow = restricted[pid]
+            allowed = arrived & allow
+            recv_masks[pid] = allowed
+            omit_masks[pid] = arrived ^ allowed
+            delivered = {
+                sender: payload_rows[sender][pid]
+                for sender in senders_of[pid]
+                if allow >> sender & 1
+            }
+        else:
+            recv_masks[pid] = arrived
+            delivered = {
+                sender: payload_rows[sender][pid]
+                for sender in senders_of[pid]
+            }
+        machine.deliver(round_, delivered)
+    MATERIALIZED.masks += 4 * n
+    # Read the decision slot directly: the property indirection costs a
+    # descriptor call per process per round on the hottest path.
+    return KernelRound(
+        send_masks,
+        payload_rows,
+        recv_masks,
+        omit_masks,
+        tuple(machine._decision for machine in machines),
+    )
+
+
+def _check_round(
+    n: int,
+    round_: Round,
+    proposals: Sequence[Payload],
+    previous: Sequence[Payload | None],
+    machines: Sequence[Process],
+    decisions: Sequence[Payload | None],
+) -> None:
+    """The kernel's cheap per-round validity checks.
+
+    The structural A.1.4/A.1.6 conditions hold by construction over
+    masks (no send-omissions, delivery derived from the send masks), so
+    only the machine-behavioral conditions need watching: stable
+    proposals and write-once decisions — the same state checks
+    :class:`~repro.sim.engine.IncrementalChecker` performs.
+    """
+    for pid in range(n):
+        if machines[pid].proposal != proposals[pid]:
+            raise ModelViolation(
+                f"p{pid}: proposal changed {proposals[pid]!r} -> "
+                f"{machines[pid].proposal!r} at round {round_}"
+            )
+        before = previous[pid]
+        if before is not None and decisions[pid] != before:
+            raise ModelViolation(
+                f"p{pid}: decision changed {before!r} -> "
+                f"{decisions[pid]!r} at round {round_}"
+            )
+
+
+def _simulate(
+    machines: list[Process],
+    n: int,
+    compiled: CompiledOmissions,
+    first_round: Round,
+    horizon: Round,
+    rows: list[KernelRound],
+    proposals: tuple[Payload, ...],
+    early_stop: str | None,
+    check: bool,
+) -> None:
+    """Run rounds ``first_round .. horizon``, appending rows.
+
+    ``early_stop``: ``None`` runs to the horizon; ``"all"`` /
+    ``"correct"`` mirror :class:`~repro.sim.engine.EarlyStopPolicy`
+    scopes (halt after the round in which the watched processes have
+    all decided).
+    """
+    if early_stop not in (None, "all", "correct"):
+        raise ValueError(f"unknown early-stop scope {early_stop!r}")
+    watched: tuple[ProcessId, ...] | None = None
+    if early_stop == "correct":
+        watched = tuple(
+            pid for pid in range(n) if pid not in compiled.corrupted
+        )
+    previous: Sequence[Payload | None] = (
+        rows[-1].decisions if rows else (None,) * n
+    )
+    for round_ in range(first_round, horizon + 1):
+        row = _step_round(machines, n, round_, compiled)
+        if check:
+            _check_round(
+                n, round_, proposals, previous, machines, row.decisions
+            )
+        previous = row.decisions
+        rows.append(row)
+        if early_stop is not None:
+            decisions = row.decisions
+            if watched is None:
+                done = None not in decisions
+            else:
+                done = all(
+                    decisions[pid] is not None for pid in watched
+                )
+            if done:
+                return
+
+
+def run_kernel(
+    config: "SimulationConfig",
+    proposals: Sequence[Payload],
+    factory: ProcessFactory,
+    compiled: CompiledOmissions,
+    *,
+    early_stop: str | None = None,
+) -> KernelTrace:
+    """Simulate one execution on the mask kernel from round 1.
+
+    The kernel analogue of :func:`repro.sim.simulator.run_execution`
+    for compiled omission adversaries; honors ``config.check`` with the
+    kernel's cheap per-round checks (see :func:`_check_round`).
+    """
+    if len(proposals) != config.n:
+        raise ValueError(
+            f"expected {config.n} proposals, got {len(proposals)}"
+        )
+    compiled.validate_budget(config.n, config.t)
+    machines = [
+        factory(pid, proposals[pid]) for pid in range(config.n)
+    ]
+    rows: list[KernelRound] = []
+    trace = KernelTrace(
+        n=config.n,
+        t=config.t,
+        proposals=tuple(proposals),
+        corrupted=compiled.corrupted,
+        rounds=rows,
+    )
+    _simulate(
+        machines,
+        config.n,
+        compiled,
+        1,
+        config.rounds,
+        rows,
+        trace.proposals,
+        early_stop,
+        config.check,
+    )
+    return trace
+
+
+def fork_kernel(
+    config: "SimulationConfig",
+    machines: list[Process],
+    compiled: CompiledOmissions,
+    base: KernelTrace,
+    from_round: Round,
+    *,
+    early_stop: str | None = None,
+) -> KernelTrace:
+    """Fan a candidate out of a shared fault-free prefix as a mask delta.
+
+    ``machines`` must be in their start-of-``from_round`` states along
+    the fault-free schedule (a :class:`PrefixForker` copy); rounds
+    ``1 .. from_round - 1`` are *shared by reference* with ``base``
+    (sound because a Definition-1 isolation acts only from its
+    isolation round, and machines are deterministic), then rounds
+    ``from_round .. horizon`` run under ``compiled``.
+    """
+    if not 1 <= from_round <= config.rounds:
+        raise ValueError(
+            f"from_round {from_round} outside 1..{config.rounds}"
+        )
+    if len(base.rounds) < from_round - 1:
+        raise ValueError(
+            f"base trace spans {len(base.rounds)} rounds; cannot share "
+            f"a {from_round - 1}-round prefix"
+        )
+    compiled.validate_budget(config.n, config.t)
+    rows = list(base.rounds[: from_round - 1])
+    trace = KernelTrace(
+        n=config.n,
+        t=config.t,
+        proposals=base.proposals,
+        corrupted=compiled.corrupted,
+        rounds=rows,
+        prefix_rounds=from_round - 1,
+        prefix_execution=base.to_execution(),
+    )
+    _simulate(
+        machines,
+        config.n,
+        compiled,
+        from_round,
+        config.rounds,
+        rows,
+        base.proposals,
+        early_stop,
+        config.check,
+    )
+    return trace
+
+
+class PrefixForker:
+    """Rolling fault-free replay with memoized fork points.
+
+    The Lemma-4 scan requests machines "at start of round k" for
+    ascending ``k``.  One live machine array is advanced through the
+    recorded fault-free schedule (calling ``outgoing`` then delivering
+    the recorded payloads — the determinism contract requires both
+    hooks to fire once per round); at each requested fork round the
+    array is deep-copied once and memoized, so revisits (the final
+    merge re-runs B(R), B(R+1), C(R)) cost one copy, not a replay.
+    This replaces the object path's per-round
+    :class:`~repro.sim.engine.MachineCheckpointer` deep-copies.
+
+    ``enabled`` degrades to ``False`` on deepcopy-hostile machines,
+    mirroring the checkpointer; callers then fall back to fresh runs.
+    """
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        proposals: Sequence[Payload],
+        factory: ProcessFactory,
+        base: KernelTrace,
+    ) -> None:
+        self._config = config
+        self._proposals = tuple(proposals)
+        self._factory = factory
+        self._base = base
+        self._machines: list[Process] | None = None
+        self._next_round: Round = 1
+        self._forks: dict[Round, list[Process]] = {}
+        self.enabled = True
+        self.rounds_replayed = 0
+
+    def machines_at(
+        self, round_: Round
+    ) -> tuple[list[Process] | None, int]:
+        """A fresh machine array at start-of-``round_``, plus the number
+        of fault-free rounds replayed to get there (0 on a memoized
+        fork).  Returns ``(None, 0)`` when disabled."""
+        if not self.enabled:
+            return None, 0
+        try:
+            memoized = self._forks.get(round_)
+            if memoized is not None:
+                return self._copy(memoized), 0
+            if self._machines is None or round_ < self._next_round:
+                self._machines = [
+                    self._factory(pid, self._proposals[pid])
+                    for pid in range(self._config.n)
+                ]
+                self._next_round = 1
+            advanced = 0
+            while self._next_round < round_:
+                self._replay_round(self._next_round)
+                self._next_round += 1
+                advanced += 1
+            snapshot = self._copy(self._machines)
+            self._forks[round_] = snapshot
+            self.rounds_replayed += advanced
+            return self._copy(snapshot), advanced
+        except Exception:  # deepcopy-hostile machines: degrade
+            self.enabled = False
+            self._forks.clear()
+            return None, 0
+
+    def _copy(self, machines: list[Process]) -> list[Process]:
+        copied = copy.deepcopy(machines)
+        SNAPSHOTS.machines += len(copied)
+        return copied
+
+    def _replay_round(self, round_: Round) -> None:
+        assert self._machines is not None
+        row = self._base.rounds[round_ - 1]
+        recv_masks = row.recv_masks
+        payload_rows = row.payloads
+        for pid, machine in enumerate(self._machines):
+            machine.outgoing(round_)  # contract: called once per round
+            delivered: dict[ProcessId, Payload] = {}
+            mask = recv_masks[pid]
+            while mask:
+                low = mask & -mask
+                sender = low.bit_length() - 1
+                delivered[sender] = payload_rows[sender][pid]
+                mask ^= low
+            machine.deliver(round_, delivered)
+
+
+class KernelOracle(RoundObserver):
+    """Cross-checks kernel rounds against live object-engine rounds.
+
+    Attach to a :class:`~repro.sim.engine.RoundEngine` run: a shadow
+    copy of the machines steps through the mask kernel in lock-step,
+    and every :class:`~repro.sim.engine.RoundEvent`'s fragments and
+    decisions must match the kernel round exactly.  The enforcement arm
+    of the "object engine stays the oracle" invariant — used by the
+    equivalence tests, not on production paths.
+    """
+
+    def __init__(self) -> None:
+        self.rounds_checked = 0
+        self._compiled: CompiledOmissions | None = None
+        self._machines: list[Process] = []
+        self._proposals: tuple[Payload, ...] = ()
+        self._previous: tuple[Payload | None, ...] = ()
+        self._n = 0
+
+    def on_run_start(self, config, machines, adversary) -> None:
+        from repro.omission.masks import compile_omissions
+
+        compiled = compile_omissions(adversary, config.n)
+        if compiled is None:
+            raise ValueError(
+                f"{type(adversary).__name__} does not compile to masks; "
+                "the oracle needs a kernel-representable adversary"
+            )
+        self._compiled = compiled
+        self._n = config.n
+        self._machines = copy.deepcopy(list(machines))
+        self._proposals = tuple(m.proposal for m in machines)
+        self._previous = tuple(m.decision for m in machines)
+
+    def on_round(self, event) -> None:
+        assert self._compiled is not None
+        row = _step_round(
+            self._machines, self._n, event.round, self._compiled
+        )
+        fragments = tuple(
+            _round_fragments(
+                row, event.round, self._n, self._proposals,
+                self._previous,
+            )
+        )
+        if fragments != event.fragments:
+            raise ModelViolation(
+                f"kernel oracle: fragments diverge at round {event.round}"
+            )
+        if row.decisions != event.decisions:
+            raise ModelViolation(
+                f"kernel oracle: decisions diverge at round "
+                f"{event.round}: kernel {row.decisions!r} vs engine "
+                f"{event.decisions!r}"
+            )
+        self._previous = row.decisions
+        self.rounds_checked += 1

@@ -30,13 +30,20 @@ class _MaterializationCounts:
     :func:`repro.sim.engine.object_counts`).  The counts are a memory
     proxy the wall clock cannot see — a kernel that got faster by
     materializing twice as many messages shows up here.
+
+    ``masks`` and ``popcounts`` belong to the bitmask round kernel
+    (:mod:`repro.sim.kernel`): per-round send/receive bitmasks built and
+    popcount accumulations performed, the kernel-representation analogue
+    of ``messages``.
     """
 
-    __slots__ = ("messages", "channels")
+    __slots__ = ("messages", "channels", "masks", "popcounts")
 
     def __init__(self) -> None:
         self.messages = 0
         self.channels = 0
+        self.masks = 0
+        self.popcounts = 0
 
 
 MATERIALIZED = _MaterializationCounts()

@@ -31,6 +31,8 @@ from repro.sim.engine import (
     RoundEngine,
     RoundObserver,
     TraceRecorder,
+    object_counts,
+    object_counts_delta,
 )
 from repro.sim.process import Process
 from repro.sim.serialization import load_execution
@@ -333,7 +335,7 @@ class TestCheckpointResume:
             config, [1] * 6, spec.factory, adversary
         )
         recorder = TraceRecorder()
-        checkpointer = MachineCheckpointer()
+        checkpointer = MachineCheckpointer(rounds=[resume_at])
         RoundEngine(
             config, machines, adversary, [recorder, checkpointer]
         ).run()
@@ -364,7 +366,7 @@ class TestCheckpointResume:
         machines = build_machines(
             config, [0] * 4, spec.factory, NoFaults()
         )
-        checkpointer = MachineCheckpointer()
+        checkpointer = MachineCheckpointer(rounds=[2])
         RoundEngine(
             config, machines, NoFaults(), [checkpointer]
         ).run()
@@ -375,6 +377,36 @@ class TestCheckpointResume:
         # The live machines ran to the horizon; the snapshots did not.
         assert machines[0].decision is not None
         assert first[0].decision is None
+
+    def test_unregistered_checkpointer_copies_nothing(self):
+        """Lazy checkpointing: no registered rounds, no deep-copies."""
+        spec = phase_king_spec(6, 1)
+        config = SimulationConfig(n=6, t=1, rounds=spec.rounds)
+        machines = build_machines(
+            config, [1] * 6, spec.factory, NoFaults()
+        )
+        checkpointer = MachineCheckpointer()
+        before = object_counts()
+        RoundEngine(config, machines, NoFaults(), [checkpointer]).run()
+        assert object_counts_delta(before)["machine_snapshots"] == 0
+        for round_ in range(1, spec.rounds + 2):
+            assert not checkpointer.has_checkpoint(round_)
+
+    def test_only_registered_rounds_are_snapshotted(self):
+        spec = phase_king_spec(6, 1)
+        config = SimulationConfig(n=6, t=1, rounds=spec.rounds)
+        machines = build_machines(
+            config, [1] * 6, spec.factory, NoFaults()
+        )
+        checkpointer = MachineCheckpointer(rounds=[2])
+        checkpointer.register([4])
+        before = object_counts()
+        RoundEngine(config, machines, NoFaults(), [checkpointer]).run()
+        # Two snapshots of six machines each, and nothing else.
+        assert object_counts_delta(before)["machine_snapshots"] == 12
+        assert checkpointer.has_checkpoint(2)
+        assert checkpointer.has_checkpoint(4)
+        assert not checkpointer.has_checkpoint(3)
 
 
 class TestSimulatorEntryPoints:
