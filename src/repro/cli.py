@@ -24,6 +24,11 @@ Subcommands:
   observatory: measure registered kernels outside pytest, append the
   points to per-suite ``BENCH_<suite>.json`` trajectories, and gate
   trajectories against a baseline with the noise-aware threshold.
+* ``serve`` / ``submit`` / ``jobs`` / ``watch`` — the attack service:
+  a multi-tenant job server over a world log (idempotent job keys,
+  per-tenant quotas and rate limits, priorities, crash-resume), its
+  submission client, the job manifest (live from the server or
+  offline from the log), and a live record stream for one job.
 
 Stream discipline: *results* (experiment reports, attack renders, sweep
 tables, verdicts, trace timelines, bench tables) go to stdout;
@@ -587,6 +592,154 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list only the quick tier",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the attack job server: accept attack/measure/classify "
+            "jobs from many clients over a unix socket, record every "
+            "accepted job and result in a world log, resume the queue "
+            "after a crash"
+        ),
+    )
+    serve_parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help=(
+            "unix socket to listen on (keep it short: the OS caps "
+            "socket paths around 100 bytes)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--log",
+        required=True,
+        metavar="WORLDLOG",
+        help=(
+            "the world log backing the queue: created if missing, "
+            "resumed (queued and died-mid-run jobs re-queued, finished "
+            "jobs answerable) if present"
+        ),
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker parallelism: 1 runs jobs in-process (default); "
+            "more shards them over a process pool"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        help="per-tenant cap on queued-or-running jobs (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=10.0,
+        help=(
+            "per-tenant sustained accepted submissions per second "
+            "(default: 10)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=int,
+        default=20,
+        help="per-tenant rate-limit burst capacity (default: 20)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help=(
+            "submit one job to a running attack server; identical "
+            "re-submissions are answered from the recorded result "
+            "without re-running anything"
+        ),
+    )
+    submit_parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the server's unix socket",
+    )
+    submit_parser.add_argument(
+        "kind",
+        choices=("attack", "measure", "classify"),
+        help="which job kind to run",
+    )
+    submit_parser.add_argument(
+        "name",
+        help=(
+            "the spec-builder name (attack/measure) or standard "
+            "problem name (classify)"
+        ),
+    )
+    submit_parser.add_argument("--n", type=int, required=True)
+    submit_parser.add_argument("--t", type=int, required=True)
+    submit_parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="attack jobs only: also produce the certificate artifact",
+    )
+    submit_parser.add_argument(
+        "--tenant",
+        default="default",
+        help="quota accounting identity (default: 'default')",
+    )
+    submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="bigger runs sooner; ties run first-come-first-served",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help=(
+            "stay connected until the job's terminal record and print "
+            "its result"
+        ),
+    )
+
+    jobs_parser = subparsers.add_parser(
+        "jobs",
+        help=(
+            "the job manifest: one line per accepted job key, live "
+            "from a running server or offline from its world log"
+        ),
+    )
+    jobs_source = jobs_parser.add_mutually_exclusive_group(
+        required=True
+    )
+    jobs_source.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="ask a running server (live queue states)",
+    )
+    jobs_source.add_argument(
+        "--log",
+        metavar="WORLDLOG",
+        help="fold a world log's job records offline (no server needed)",
+    )
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help=(
+            "stream one job's world-log records (replay, then live) "
+            "until its terminal record; exit 1 if the job failed"
+        ),
+    )
+    watch_parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the server's unix socket",
+    )
+    watch_parser.add_argument("key", help="the job's idempotent key")
     return parser
 
 
@@ -915,7 +1068,179 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "bench":
         return _dispatch_bench(args)
+    if args.command == "serve":
+        return _dispatch_serve(args)
+    if args.command == "submit":
+        return _dispatch_submit(args)
+    if args.command == "jobs":
+        return _dispatch_jobs(args)
+    if args.command == "watch":
+        return _dispatch_watch(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    from repro.service.quota import QuotaPolicy
+    from repro.service.server import JobServer
+
+    server = JobServer(
+        log_path=args.log,
+        socket_path=args.socket,
+        jobs=args.jobs,
+        quota=QuotaPolicy(
+            max_pending=args.max_pending,
+            rate=args.rate,
+            burst=args.burst,
+        ),
+    )
+    _info(
+        f"attack service listening on {args.socket} "
+        f"(log: {args.log}, jobs: {args.jobs}); stop with SIGTERM"
+    )
+    server.serve_forever()
+    _info("attack service stopped; queued jobs stay in the log")
+    return 0
+
+
+def _service_job(args: argparse.Namespace):
+    """Build the job a ``repro submit`` invocation describes.
+
+    Builder/problem names are validated client-side so a typo fails
+    fast with the registry listed, instead of as a queued job's error
+    record.
+    """
+    from repro.parallel.jobs import (
+        AttackJob,
+        ClassifyJob,
+        MeasureJob,
+        resolve_builder,
+        resolve_problem,
+    )
+
+    if args.certify and args.kind != "attack":
+        raise ReproError(
+            "--certify applies to attack jobs only"
+        )
+    if args.kind == "classify":
+        resolve_problem(args.name)
+        return ClassifyJob(builder=args.name, n=args.n, t=args.t)
+    resolve_builder(args.name)
+    if args.kind == "measure":
+        return MeasureJob(builder=args.name, n=args.n, t=args.t)
+    return AttackJob(
+        builder=args.name, n=args.n, t=args.t, certify=args.certify
+    )
+
+
+def _render_job_value(value) -> str:
+    """A terminal job payload as the matching one-off command's output."""
+    from repro.analysis.complexity import SweepPoint
+
+    if isinstance(value, SweepPoint):
+        from repro.analysis.tables import render_sweep
+
+        return render_sweep([value])
+    return value.render()
+
+
+def _print_terminal(record: dict | None) -> int:
+    """Print a streamed terminal record; the job's exit code."""
+    if record is None:
+        raise ReproError(
+            "server stream ended before the job's terminal record"
+        )
+    payload = record["payload"]
+    if record["kind"] == "job.error":
+        _info(
+            f"job failed ({payload['error_kind']}): "
+            f"{payload['message']}"
+        )
+        return 1
+    from repro.worldlog.codec import decode_job_result
+
+    result = decode_job_result(payload["result"])
+    print(_render_job_value(result.value))
+    if result.certificate is not None:
+        _info(
+            f"certificate recorded in the log "
+            f"({len(result.certificate)} canonical bytes)"
+        )
+    return 0
+
+
+def _dispatch_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.worldlog.codec import encode_job
+
+    spec = encode_job(_service_job(args))
+    client = ServiceClient(args.socket)
+    if not args.wait:
+        response = client.submit(
+            spec, tenant=args.tenant, priority=args.priority
+        )
+        cached = " (cached)" if response.get("cached") else ""
+        print(f"{response['key']} {response['state']}{cached}")
+        return 1 if response["state"] == "failed" else 0
+    final = None
+    for frame in client.submit_wait(
+        spec, tenant=args.tenant, priority=args.priority
+    ):
+        record = frame.get("record")
+        if record is None:
+            cached = " (cached)" if frame.get("cached") else ""
+            _info(f"{frame['key']} {frame['state']}{cached}")
+        elif frame.get("final"):
+            final = record
+        else:
+            _info(f"[{record['tick']}] {record['kind']}")
+    return _print_terminal(final)
+
+
+def _dispatch_jobs(args: argparse.Namespace) -> int:
+    if args.socket:
+        from repro.service.client import ServiceClient
+
+        manifest = ServiceClient(args.socket).jobs()
+    else:
+        from repro.worldlog.store import read_worldlog
+        from repro.worldlog.views import jobs_manifest
+
+        manifest = jobs_manifest(read_worldlog(args.log))
+    entries = manifest["jobs"]
+    if not entries:
+        print("no jobs recorded")
+        return 0
+    for entry in entries:
+        job = entry["job"]
+        cell = (
+            f"{job['kind']}/{job['builder']}/n{job['n']}/t{job['t']}"
+        )
+        line = (
+            f"{entry['key']}  {entry['state']:<7} "
+            f"p{entry['priority']:<3} {entry['tenant']:<10} {cell}"
+        )
+        if entry["state"] == "failed":
+            line += (
+                f"  [{entry.get('error_kind', '?')}] "
+                f"{entry.get('message', '')}"
+            )
+        print(line)
+    return 0
+
+
+def _dispatch_watch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    final = None
+    for frame in ServiceClient(args.socket).watch(args.key):
+        record = frame.get("record")
+        if record is None:
+            continue
+        if frame.get("final"):
+            final = record
+        else:
+            _info(f"[{record['tick']}] {record['kind']}")
+    return _print_terminal(final)
 
 
 def _dispatch_log(args: argparse.Namespace) -> int:

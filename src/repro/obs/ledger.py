@@ -94,6 +94,20 @@ def cell_label(key: tuple) -> str:
     return f"{kind}/{builder}/n{n}/t{t}"
 
 
+def job_label(key: tuple, job_key: str) -> str:
+    """The canonical ``cell_id`` string for one attack-service job.
+
+    Extends :func:`cell_label` with a ``#``-suffixed prefix of the
+    job's idempotent key, so two submissions of the same ``(kind,
+    builder, n, t)`` cell with different options stay distinguishable
+    in the correlated event stream.
+
+    >>> job_label(("attack", "silent", 12, 8), "0f3a9b2c41d5e6f7")
+    'job/attack/silent/n12/t8#0f3a9b2c'
+    """
+    return f"job/{cell_label(key)}#{job_key[:8]}"
+
+
 @dataclass(frozen=True)
 class LedgerEvent:
     """One typed, correlated telemetry record.

@@ -30,13 +30,17 @@ from repro.parallel.profiling import (
 _LAZY = {
     "AttackJob": "repro.parallel.jobs",
     "CacheStats": "repro.parallel.jobs",
+    "ClassifyJob": "repro.parallel.jobs",
+    "ClassifyVerdict": "repro.parallel.jobs",
     "JobResult": "repro.parallel.jobs",
     "MeasureJob": "repro.parallel.jobs",
     "SweepJob": "repro.parallel.jobs",
     "UnknownBuilderError": "repro.parallel.jobs",
     "execute_job": "repro.parallel.jobs",
     "registered_builders": "repro.parallel.jobs",
+    "registered_problems": "repro.parallel.jobs",
     "resolve_builder": "repro.parallel.jobs",
+    "resolve_problem": "repro.parallel.jobs",
     "CellError": "repro.parallel.scheduler",
     "SweepCell": "repro.parallel.scheduler",
     "SweepReport": "repro.parallel.scheduler",

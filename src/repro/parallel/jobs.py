@@ -19,6 +19,10 @@ Job types:
 * :class:`MeasureJob` — run the E1/E7 message-complexity measurement
   (:func:`~repro.analysis.complexity.measure_point`) on one cell;
   returns a :class:`~repro.analysis.complexity.SweepPoint`.
+* :class:`ClassifyJob` — run the Theorem-4 solvability classification
+  (:func:`~repro.solvability.theorem.classify`) on one standard
+  problem at ``(n, t)``; returns a compact, picklable
+  :class:`ClassifyVerdict`.
 
 Everything a job returns is wrapped in a :class:`JobResult` so the
 scheduler can account wall time, cache counters and engine round counts
@@ -125,6 +129,46 @@ def registered_builders() -> list[str]:
     from repro.experiments import CHEATERS
 
     return sorted(set(CHEATERS) | set(_correct_builders()))
+
+
+def _problem_builders() -> dict[str, Callable[[int, int], Any]]:
+    """The standard agreement problems :class:`ClassifyJob` resolves."""
+    from repro.validity.standard import (
+        byzantine_broadcast_problem,
+        correct_proposal_problem,
+        interactive_consistency_problem,
+        strong_consensus_problem,
+        weak_consensus_problem,
+    )
+
+    return {
+        "weak": weak_consensus_problem,
+        "strong": strong_consensus_problem,
+        "broadcast": byzantine_broadcast_problem,
+        "ic": interactive_consistency_problem,
+        "correct-proposal": correct_proposal_problem,
+    }
+
+
+def resolve_problem(name: str) -> Callable[[int, int], Any]:
+    """Resolve a standard problem name to its ``(n, t) -> problem``.
+
+    Raises:
+        UnknownBuilderError: for unregistered names, mirroring
+            :func:`resolve_builder`.
+    """
+    problems = _problem_builders()
+    if name in problems:
+        return problems[name]
+    raise UnknownBuilderError(
+        f"unknown standard problem {name!r}; registered: "
+        f"{', '.join(sorted(problems))}"
+    )
+
+
+def registered_problems() -> list[str]:
+    """All resolvable standard problem names."""
+    return sorted(_problem_builders())
 
 
 @dataclass(frozen=True)
@@ -315,8 +359,97 @@ class MeasureJob:
         )
 
 
-SweepJob = AttackJob | MeasureJob
-"""The union of job kinds a scheduler accepts."""
+@dataclass(frozen=True)
+class ClassifyVerdict:
+    """The distilled, picklable outcome of one solvability cell.
+
+    The full :class:`~repro.solvability.theorem.SolvabilityReport`
+    carries live property objects; jobs ship only the decided bits, the
+    same reduction ``repro classify`` prints.
+    """
+
+    problem: str
+    n: int
+    t: int
+    trivial: bool
+    cc_holds: bool
+    authenticated_solvable: bool
+    unauthenticated_solvable: bool
+
+    def render(self) -> str:
+        """One verdict line (the ``repro classify`` shape, condensed)."""
+        return (
+            f"{self.problem} n={self.n} t={self.t} "
+            f"trivial={'Y' if self.trivial else 'N'} "
+            f"CC={'Y' if self.cc_holds else 'N'} "
+            f"auth={'Y' if self.authenticated_solvable else 'N'} "
+            f"unauth={'Y' if self.unauthenticated_solvable else 'N'}"
+        )
+
+
+@dataclass(frozen=True)
+class ClassifyJob:
+    """One Theorem-4 solvability classification cell.
+
+    ``builder`` names a standard problem from
+    :func:`registered_problems` — the registry role ``builder`` plays
+    for the other job kinds, kept under the same field name so the
+    ``(kind, builder, n, t)`` cell identity is uniform across kinds.
+    """
+
+    builder: str
+    n: int
+    t: int
+    ledger: bool = False
+
+    @property
+    def key(self) -> tuple[str, str, int, int]:
+        """The cell identity ``("classify", problem, n, t)``."""
+        return ("classify", self.builder, self.n, self.t)
+
+    def run(self) -> JobResult:
+        """Rebuild the problem and classify it.
+
+        With ``ledger`` the classification is wrapped in a ``classify``
+        span and the decided bits land in the cell's event segment.
+        """
+        from repro.solvability.theorem import classify
+
+        tracer, cell_ledger = _cell_tracer(self.ledger, self.key)
+        problem = resolve_problem(self.builder)(self.n, self.t)
+        begin = time.perf_counter()
+        with tracer.span(
+            "classify", problem=self.builder, n=self.n, t=self.t
+        ):
+            report = classify(problem)
+        wall = time.perf_counter() - begin
+        verdict = ClassifyVerdict(
+            problem=self.builder,
+            n=self.n,
+            t=self.t,
+            trivial=report.trivial,
+            cc_holds=report.cc.holds,
+            authenticated_solvable=report.authenticated_solvable,
+            unauthenticated_solvable=report.unauthenticated_solvable,
+        )
+        tracer.counter(
+            "classify.solvable",
+            value=int(verdict.authenticated_solvable),
+        )
+        return JobResult(
+            key=self.key,
+            value=verdict,
+            wall_seconds=wall,
+            events=(
+                cell_ledger.segment()
+                if cell_ledger is not None
+                else None
+            ),
+        )
+
+
+SweepJob = AttackJob | MeasureJob | ClassifyJob
+"""The union of job kinds a scheduler (and the job service) accepts."""
 
 
 def execute_job(job: SweepJob) -> JobResult:

@@ -1,0 +1,144 @@
+"""The blocking service client ``repro submit``/``jobs``/``watch`` use.
+
+One request per connection: the client connects to the server's unix
+socket, writes a single request frame and reads the response — one
+frame for ``ping``/``jobs``/``shutdown`` and plain ``submit``, a frame
+*stream* ending at ``"final": true`` for ``submit --wait`` and
+``watch``.
+
+Failure discipline mirrors the CLI's exit codes:
+
+* the socket is missing or nothing is listening → ``OSError``
+  propagates (an environment failure; the CLI maps it to exit 2);
+* the server answered ``"ok": false`` → :class:`ServiceError` carrying
+  the structured kind and message (a domain failure; exit 1).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+from repro.service.protocol import (
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class ServiceError(ReproError):
+    """The server rejected a request (quota, rate, bad job, …)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def _raise_if_error(frame: dict[str, Any]) -> dict[str, Any]:
+    if not frame.get("ok", False):
+        error = frame.get("error", {})
+        raise ServiceError(
+            kind=str(error.get("kind", "unknown")),
+            message=str(error.get("message", "request rejected")),
+        )
+    return frame
+
+
+class ServiceClient:
+    """A blocking client bound to one server socket path."""
+
+    def __init__(self, socket_path: str, timeout: float | None = None):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _connect(self) -> "socket.socket":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """One request, one response frame (raises on ``ok: false``)."""
+        with self._connect() as sock:
+            sock.sendall(encode_frame(frame))
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise ProtocolError(
+                f"server at {self.socket_path} closed the connection "
+                f"without a response"
+            )
+        return _raise_if_error(decode_frame(line))
+
+    def stream(
+        self, frame: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        """One request, a frame stream; yields every response frame.
+
+        The first yielded frame is the acknowledgement; subsequent
+        frames carry job records; iteration ends after the frame marked
+        ``"final": true`` (or on server close).
+        """
+        with self._connect() as sock:
+            sock.sendall(encode_frame(frame))
+            with sock.makefile("rb") as response:
+                for line in response:
+                    parsed = _raise_if_error(decode_frame(line))
+                    yield parsed
+                    if parsed.get("final", False):
+                        return
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Server identity and queue depths."""
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        job: dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> dict[str, Any]:
+        """Enqueue one encoded job; returns the acceptance frame."""
+        return self.request(
+            {
+                "op": "submit",
+                "tenant": tenant,
+                "priority": priority,
+                "job": job,
+            }
+        )
+
+    def submit_wait(
+        self,
+        job: dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> Iterator[dict[str, Any]]:
+        """Enqueue and stream until the job's terminal record."""
+        return self.stream(
+            {
+                "op": "submit",
+                "tenant": tenant,
+                "priority": priority,
+                "job": job,
+                "wait": True,
+            }
+        )
+
+    def jobs(self) -> dict[str, Any]:
+        """The live job manifest (``repro.jobs/v1`` shape)."""
+        return self.request({"op": "jobs"})
+
+    def watch(self, key: str) -> Iterator[dict[str, Any]]:
+        """Replay-then-follow one job's records until its terminal."""
+        return self.stream({"op": "watch", "key": key})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to finish in-flight jobs and exit."""
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,126 @@
+"""The service's priority queue and its world-log recovery function.
+
+:class:`JobQueue` is a pure, synchronous data structure — no locks, no
+sockets, no log.  The server owns exactly one and touches it only from
+the event-loop thread; tests drive it directly.  Ordering is a binary
+heap on ``(-priority, seq)``: higher ``priority`` first, and within one
+priority strictly first-come-first-served by acceptance sequence.
+
+:func:`recover_jobs` is the crash-resume half: it folds a resumed world
+log's ``job.*`` records back into queue entries and recorded results.
+The fold mirrors :func:`repro.worldlog.views.jobs_manifest` exactly —
+the manifest is the operator's *view* of the same transition function
+the server *executes*:
+
+* ``job.submitted`` with no later record → the job is still queued;
+* ``job.start`` with no terminal record → the job died mid-run and is
+  **re-queued** (its next attempt appends a fresh ``job.start``; the
+  one-terminal-record invariant is untouched because no terminal was
+  ever written);
+* ``job.result`` / ``job.error`` → terminal; the payload becomes the
+  recorded result a re-submission of the same key is answered from.
+
+>>> queue = JobQueue()
+>>> queue.push(JobEntry(key="aa", tenant="t", priority=0, job={}))
+>>> queue.push(JobEntry(key="bb", tenant="t", priority=5, job={}))
+>>> queue.push(JobEntry(key="cc", tenant="t", priority=0, job={}))
+>>> [queue.pop().key for _ in range(3)]
+['bb', 'aa', 'cc']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.worldlog.record import Record
+
+
+@dataclass
+class JobEntry:
+    """One accepted job: the queue's (and the log's) unit of work.
+
+    Attributes:
+        key: the idempotent job key (:func:`repro.service.protocol
+            .job_key` of the encoded spec).
+        tenant: who submitted it (quota accounting unit).
+        priority: bigger runs sooner; ties break by acceptance order.
+        job: the encoded job spec, exactly the ``job.submitted``
+            payload's ``job`` field.
+        state: one of :data:`repro.service.protocol.JOB_STATES`.
+        seq: acceptance sequence number (assigned by :meth:`JobQueue
+            .push`; survives recovery because record order is acceptance
+            order).
+    """
+
+    key: str
+    tenant: str
+    priority: int
+    job: dict[str, Any]
+    state: str = "queued"
+    seq: int = field(default=-1)
+
+
+class JobQueue:
+    """A priority queue of :class:`JobEntry` — highest priority first.
+
+    >>> queue = JobQueue()
+    >>> queue.push(JobEntry(key="aa", tenant="t", priority=1, job={}))
+    >>> len(queue)
+    1
+    >>> queue.pop().state
+    'running'
+    >>> queue.pop() is None
+    True
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, JobEntry]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: JobEntry) -> None:
+        """Accept one entry; stamps its ``seq`` and queues it."""
+        entry.seq = next(self._seq)
+        entry.state = "queued"
+        heapq.heappush(self._heap, (-entry.priority, entry.seq, entry))
+
+    def pop(self) -> JobEntry | None:
+        """The next entry to run (marked ``running``), or ``None``."""
+        if not self._heap:
+            return None
+        _, _, entry = heapq.heappop(self._heap)
+        entry.state = "running"
+        return entry
+
+
+def recover_jobs(
+    records: Iterable[Record],
+) -> tuple[list[JobEntry], dict[str, Record]]:
+    """Fold a resumed log's ``job.*`` records into queue state.
+
+    Returns ``(pending, terminals)``: the entries to re-queue in
+    acceptance order (both never-started and died-mid-run jobs), and
+    the terminal record per completed key — the recorded results that
+    make re-submission free and restarts idempotent.
+    """
+    entries: dict[str, JobEntry] = {}
+    terminals: dict[str, Record] = {}
+    for record in records:
+        if record.kind == "job.submitted":
+            payload = record.payload
+            entries[payload["key"]] = JobEntry(
+                key=payload["key"],
+                tenant=payload["tenant"],
+                priority=payload["priority"],
+                job=payload["job"],
+            )
+        elif record.kind in ("job.result", "job.error"):
+            key = record.payload["key"]
+            terminals[key] = record
+            entries.pop(key, None)
+    return list(entries.values()), terminals

@@ -1,0 +1,128 @@
+"""Per-tenant admission control: pending-job quotas and rate limits.
+
+Admission is decided *before* anything is logged: a rejected submission
+leaves no record, charges no rate token and occupies no queue slot —
+the world log records accepted work only, so crash-resume never replays
+a rejection.  Idempotent re-submissions of an already-accepted key are
+likewise never charged: the server answers them from queue state or the
+recorded result without consulting this module.
+
+Two independent gates, both per tenant:
+
+* **pending quota** — at most ``max_pending`` jobs simultaneously
+  queued or running.  Terminal jobs free their slot.
+* **rate limit** — a token bucket holding at most ``burst`` tokens,
+  refilled at ``rate`` tokens/second.  Each accepted submission spends
+  one token; an empty bucket rejects.
+
+The clock is injectable, so policy behaviour is exactly testable:
+
+>>> now = iter([0.0, 0.0, 2.0])
+>>> policy = QuotaPolicy(max_pending=8, rate=0.5, burst=1,
+...                      clock=lambda: next(now))
+>>> policy.admit("alice", pending=0).allowed
+True
+>>> policy.admit("alice", pending=0)           # bucket drained
+QuotaDecision(allowed=False, reason='rate limit: tenant alice exceeded 0.5 jobs/s (burst 1)')
+>>> policy.admit("alice", pending=0).allowed   # 2 s later: refilled
+True
+
+The pending gate is checked first, against the *caller's* live count —
+the policy holds no job state of its own:
+
+>>> policy = QuotaPolicy(max_pending=2, rate=100.0, burst=100,
+...                      clock=lambda: 0.0)
+>>> policy.admit("bob", pending=2)
+QuotaDecision(allowed=False, reason='quota: tenant bob has 2 pending jobs (max 2)')
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """One admission verdict: allowed, or a rejection with its reason.
+
+    ``reason`` is the exact diagnostic the client prints to stderr; the
+    leading token (``quota:`` / ``rate limit:``) doubles as the wire
+    error kind.
+    """
+
+    allowed: bool
+    reason: str = ""
+
+    @property
+    def kind(self) -> str:
+        """The wire error kind (``quota`` or ``rate``)."""
+        return "rate" if self.reason.startswith("rate") else "quota"
+
+
+class QuotaPolicy:
+    """Per-tenant admission policy: pending cap plus token bucket.
+
+    Args:
+        max_pending: maximum queued-or-running jobs per tenant.
+        rate: sustained accepted submissions per second per tenant.
+        burst: bucket capacity — how far a tenant may briefly exceed
+            ``rate`` after idling.
+        clock: monotonic seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 16,
+        rate: float = 10.0,
+        burst: int = 20,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_pending = max_pending
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens: dict[str, float] = {}
+        self._stamped: dict[str, float] = {}
+
+    def _refill(self, tenant: str) -> float:
+        now = self._clock()
+        tokens = self._tokens.get(tenant, float(self.burst))
+        stamped = self._stamped.get(tenant, now)
+        tokens = min(
+            float(self.burst), tokens + (now - stamped) * self.rate
+        )
+        self._stamped[tenant] = now
+        self._tokens[tenant] = tokens
+        return tokens
+
+    def admit(self, tenant: str, pending: int) -> QuotaDecision:
+        """Decide one submission; spends a rate token iff allowed.
+
+        Args:
+            tenant: the submitting tenant.
+            pending: the tenant's current queued-or-running job count
+                (the server's live view — this policy is stateless
+                about jobs on purpose, so recovery needs no replay
+                through it).
+        """
+        if pending >= self.max_pending:
+            return QuotaDecision(
+                allowed=False,
+                reason=(
+                    f"quota: tenant {tenant} has {pending} pending "
+                    f"jobs (max {self.max_pending})"
+                ),
+            )
+        tokens = self._refill(tenant)
+        if tokens < 1.0:
+            return QuotaDecision(
+                allowed=False,
+                reason=(
+                    f"rate limit: tenant {tenant} exceeded "
+                    f"{self.rate:g} jobs/s (burst {self.burst})"
+                ),
+            )
+        self._tokens[tenant] = tokens - 1.0
+        return QuotaDecision(allowed=True)

@@ -41,8 +41,16 @@ from repro.sim.serialization import (
 
 def encode_job(job: Any) -> dict[str, Any]:
     """One sweep job as a JSON-safe plan entry."""
-    from repro.parallel.jobs import AttackJob, MeasureJob
+    from repro.parallel.jobs import AttackJob, ClassifyJob, MeasureJob
 
+    if isinstance(job, ClassifyJob):
+        return {
+            "kind": "classify",
+            "builder": job.builder,
+            "n": job.n,
+            "t": job.t,
+            "ledger": job.ledger,
+        }
     if isinstance(job, AttackJob):
         return {
             "kind": "attack",
@@ -73,9 +81,16 @@ def encode_job(job: Any) -> dict[str, Any]:
 
 def decode_job(data: dict[str, Any]) -> Any:
     """Inverse of :func:`encode_job`."""
-    from repro.parallel.jobs import AttackJob, MeasureJob
+    from repro.parallel.jobs import AttackJob, ClassifyJob, MeasureJob
 
     kind = data.get("kind")
+    if kind == "classify":
+        return ClassifyJob(
+            builder=data["builder"],
+            n=data["n"],
+            t=data["t"],
+            ledger=data["ledger"],
+        )
     if kind == "attack":
         return AttackJob(
             builder=data["builder"],
@@ -212,15 +227,45 @@ def _decode_point(data: dict[str, Any]) -> Any:
     )
 
 
+def _encode_verdict(verdict: Any) -> dict[str, Any]:
+    return {
+        "kind": "classify-verdict",
+        "problem": verdict.problem,
+        "n": verdict.n,
+        "t": verdict.t,
+        "trivial": verdict.trivial,
+        "cc_holds": verdict.cc_holds,
+        "authenticated_solvable": verdict.authenticated_solvable,
+        "unauthenticated_solvable": verdict.unauthenticated_solvable,
+    }
+
+
+def _decode_verdict(data: dict[str, Any]) -> Any:
+    from repro.parallel.jobs import ClassifyVerdict
+
+    return ClassifyVerdict(
+        problem=data["problem"],
+        n=data["n"],
+        t=data["t"],
+        trivial=data["trivial"],
+        cc_holds=data["cc_holds"],
+        authenticated_solvable=data["authenticated_solvable"],
+        unauthenticated_solvable=data["unauthenticated_solvable"],
+    )
+
+
 def encode_value(value: Any) -> dict[str, Any]:
-    """Encode a job payload (outcome or sweep point)."""
+    """Encode a job payload (outcome, sweep point or verdict)."""
     from repro.analysis.complexity import SweepPoint
     from repro.lowerbound.driver import AttackOutcome
+    from repro.parallel.jobs import ClassifyVerdict
 
     if isinstance(value, AttackOutcome):
         return _encode_outcome(value)
     if isinstance(value, SweepPoint):
         return _encode_point(value)
+    if isinstance(value, ClassifyVerdict):
+        return _encode_verdict(value)
     raise ReproError(
         f"cannot encode job value of type {type(value).__name__}"
     )
@@ -233,6 +278,8 @@ def decode_value(data: dict[str, Any]) -> Any:
         return _decode_outcome(data)
     if kind == "sweep-point":
         return _decode_point(data)
+    if kind == "classify-verdict":
+        return _decode_verdict(data)
     raise ReproError(f"unknown job value kind {kind!r}")
 
 

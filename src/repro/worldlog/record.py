@@ -51,6 +51,10 @@ KINDS = (
     "cert.artifact",
     "bench.point",
     "trend.point",
+    "job.submitted",
+    "job.start",
+    "job.result",
+    "job.error",
 )
 """The typed record vocabulary, in documentation order.
 
@@ -72,6 +76,13 @@ KINDS = (
 * ``bench.point`` / ``trend.point`` — one benchmark-observatory point /
   one perf-trend point, payloads exactly as their legacy writers
   serialize them.
+* ``job.submitted`` / ``job.start`` / ``job.result`` / ``job.error`` —
+  the attack service's job lifecycle (:mod:`repro.service`): one
+  acceptance record per idempotent job key, an optional start marker
+  per execution attempt, and **exactly one** terminal record per
+  accepted job — the invariant a killed-and-restarted ``repro serve``
+  resumes on.  The ``jobs`` derived view renders these as the
+  ``jobs.json`` manifest.
 """
 
 

@@ -19,6 +19,13 @@ golden fixtures under ``tests/worldlog/golden``:
   trajectory document :func:`repro.obs.bench.append_points` writes.
 * **trend** — ``trend.jsonl``: each ``trend.point`` payload as one
   JSONL line, exactly :func:`repro.obs.report.append_trend` output.
+
+A sixth, service-era view has no legacy writer: **jobs** —
+``jobs.json``: the attack service's job manifest (schema
+``repro.jobs/v1``), folding each job's ``job.submitted`` /
+``job.start`` / ``job.result`` / ``job.error`` records into one entry
+per idempotent job key.  ``repro jobs --log`` renders the same
+manifest without materializing it.
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 CHECKPOINTS_SCHEMA = "repro.checkpoints/v1"
 """The schema tag of the derived checkpoint manifest."""
+
+JOBS_SCHEMA = "repro.jobs/v1"
+"""The schema tag of the derived service job manifest."""
 
 
 def _after_last_gather(records: Sequence[Record]) -> Sequence[Record]:
@@ -102,6 +112,49 @@ def bench_documents(
     }
 
 
+def jobs_manifest(records: Iterable[Record]) -> dict[str, Any]:
+    """The derived service job manifest (one entry per job key).
+
+    Entries appear in submission order and fold the job's lifecycle
+    records into a single summary: the accepted spec and its tenant /
+    priority, the current state (``queued`` → ``running`` → ``done`` /
+    ``failed``), the ticks of the acceptance and terminal records, and
+    — for failed jobs — the structured error kind and message.  The
+    full terminal payloads stay in the log; the manifest is the
+    operator's index, not a second source of truth.
+    """
+    jobs: dict[str, dict[str, Any]] = {}
+    for record in records:
+        payload = record.payload
+        if record.kind == "job.submitted":
+            jobs[payload["key"]] = {
+                "key": payload["key"],
+                "tenant": payload["tenant"],
+                "priority": payload["priority"],
+                "job": payload["job"],
+                "state": "queued",
+                "submitted_tick": record.tick,
+                "terminal_tick": None,
+            }
+        elif record.kind == "job.start":
+            entry = jobs.get(payload["key"])
+            if entry is not None and entry["state"] == "queued":
+                entry["state"] = "running"
+        elif record.kind == "job.result":
+            entry = jobs.get(payload["key"])
+            if entry is not None:
+                entry["state"] = "done"
+                entry["terminal_tick"] = record.tick
+        elif record.kind == "job.error":
+            entry = jobs.get(payload["key"])
+            if entry is not None:
+                entry["state"] = "failed"
+                entry["terminal_tick"] = record.tick
+                entry["error_kind"] = payload["error_kind"]
+                entry["message"] = payload["message"]
+    return {"schema": JOBS_SCHEMA, "jobs": list(jobs.values())}
+
+
 def trend_points(records: Iterable[Record]) -> list[dict[str, Any]]:
     """The derived trend view, oldest first (for ``report --trend``)."""
     return [
@@ -164,6 +217,14 @@ def derive_views(
                 handle.write("\n")
             paths.append(path)
         written["bench"] = paths
+
+    manifest = jobs_manifest(records)
+    if manifest["jobs"]:
+        path = os.path.join(out_dir, "jobs.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written["jobs"] = [path]
 
     points = trend_points(records)
     if points:

@@ -1,0 +1,111 @@
+"""Tests for the priority queue and the world-log recovery fold."""
+
+from repro.service.queue import JobEntry, JobQueue, recover_jobs
+from repro.worldlog.record import Record
+
+
+def _entry(key, priority=0, tenant="t"):
+    return JobEntry(key=key, tenant=tenant, priority=priority, job={})
+
+
+def _record(tick, kind, payload):
+    return Record(
+        tick=tick, kind=kind, payload=payload, run_id="r", worker_id=1
+    )
+
+
+def _submitted(tick, key, priority=0):
+    return _record(
+        tick,
+        "job.submitted",
+        {"key": key, "tenant": "t", "priority": priority, "job": {}},
+    )
+
+
+class TestJobQueue:
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        queue.push(_entry("low", priority=0))
+        queue.push(_entry("high", priority=9))
+        assert queue.pop().key == "high"
+        assert queue.pop().key == "low"
+
+    def test_equal_priority_is_fifo(self):
+        queue = JobQueue()
+        for key in ("first", "second", "third"):
+            queue.push(_entry(key, priority=5))
+        assert [queue.pop().key for _ in range(3)] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_pop_marks_running(self):
+        queue = JobQueue()
+        queue.push(_entry("job"))
+        assert queue.pop().state == "running"
+
+    def test_pop_on_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+    def test_len_tracks_pushes_and_pops(self):
+        queue = JobQueue()
+        queue.push(_entry("a"))
+        queue.push(_entry("b"))
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1
+
+
+class TestRecoverJobs:
+    def test_never_started_job_is_requeued(self):
+        pending, terminals = recover_jobs([_submitted(1, "aa")])
+        assert [entry.key for entry in pending] == ["aa"]
+        assert terminals == {}
+
+    def test_died_mid_run_job_is_requeued(self):
+        # job.start with no terminal record: the signature of a worker
+        # killed mid-job.  The attempt is lost; the job is not.
+        pending, terminals = recover_jobs(
+            [
+                _submitted(1, "aa"),
+                _record(2, "job.start", {"key": "aa"}),
+            ]
+        )
+        assert [entry.key for entry in pending] == ["aa"]
+        assert terminals == {}
+
+    def test_terminal_jobs_are_not_requeued(self):
+        result = _record(3, "job.result", {"key": "aa", "result": {}})
+        pending, terminals = recover_jobs(
+            [
+                _submitted(1, "aa"),
+                _record(2, "job.start", {"key": "aa"}),
+                result,
+            ]
+        )
+        assert pending == []
+        assert terminals == {"aa": result}
+
+    def test_failed_jobs_count_as_terminal(self):
+        error = _record(
+            2,
+            "job.error",
+            {"key": "aa", "error_kind": "exception", "message": "boom"},
+        )
+        pending, terminals = recover_jobs([_submitted(1, "aa"), error])
+        assert pending == []
+        assert terminals["aa"].kind == "job.error"
+
+    def test_recovery_preserves_acceptance_order_and_metadata(self):
+        pending, _ = recover_jobs(
+            [
+                _submitted(1, "aa", priority=1),
+                _record(2, "job.result", {"key": "aa", "result": {}}),
+                _submitted(3, "bb", priority=7),
+                _submitted(4, "cc", priority=0),
+            ]
+        )
+        assert [entry.key for entry in pending] == ["bb", "cc"]
+        assert pending[0].priority == 7
+        assert pending[0].tenant == "t"

@@ -1,0 +1,87 @@
+"""Tests for per-tenant admission control (quota + rate limit)."""
+
+from repro.service.quota import QuotaPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _policy(**kwargs):
+    clock = FakeClock()
+    defaults = dict(max_pending=4, rate=1.0, burst=2, clock=clock)
+    defaults.update(kwargs)
+    return QuotaPolicy(**defaults), clock
+
+
+class TestPendingQuota:
+    def test_under_the_cap_is_admitted(self):
+        policy, _ = _policy()
+        assert policy.admit("alice", pending=3).allowed
+
+    def test_at_the_cap_is_rejected(self):
+        policy, _ = _policy()
+        decision = policy.admit("alice", pending=4)
+        assert not decision.allowed
+        assert decision.kind == "quota"
+        assert (
+            decision.reason
+            == "quota: tenant alice has 4 pending jobs (max 4)"
+        )
+
+    def test_quota_is_per_tenant(self):
+        policy, _ = _policy()
+        assert not policy.admit("alice", pending=4).allowed
+        assert policy.admit("bob", pending=0).allowed
+
+
+class TestRateLimit:
+    def test_burst_then_rejection(self):
+        policy, _ = _policy(burst=2)
+        assert policy.admit("alice", pending=0).allowed
+        assert policy.admit("alice", pending=0).allowed
+        decision = policy.admit("alice", pending=0)
+        assert not decision.allowed
+        assert decision.kind == "rate"
+        assert (
+            decision.reason
+            == "rate limit: tenant alice exceeded 1 jobs/s (burst 2)"
+        )
+
+    def test_tokens_refill_over_time(self):
+        policy, clock = _policy(rate=2.0, burst=1)
+        assert policy.admit("alice", pending=0).allowed
+        assert not policy.admit("alice", pending=0).allowed
+        clock.now = 0.5  # 0.5 s at 2 tokens/s: exactly one token back
+        assert policy.admit("alice", pending=0).allowed
+
+    def test_refill_caps_at_burst(self):
+        policy, clock = _policy(rate=100.0, burst=2)
+        clock.now = 1000.0  # a long idle cannot bank more than burst
+        assert policy.admit("alice", pending=0).allowed
+        assert policy.admit("alice", pending=0).allowed
+        assert not policy.admit("alice", pending=0).allowed
+
+    def test_buckets_are_per_tenant(self):
+        policy, _ = _policy(burst=1)
+        assert policy.admit("alice", pending=0).allowed
+        assert not policy.admit("alice", pending=0).allowed
+        assert policy.admit("bob", pending=0).allowed
+
+    def test_rejection_spends_no_token(self):
+        policy, clock = _policy(rate=1.0, burst=1)
+        assert policy.admit("alice", pending=0).allowed
+        for _ in range(5):  # hammering while drained stays free
+            assert not policy.admit("alice", pending=0).allowed
+        clock.now = 1.0
+        assert policy.admit("alice", pending=0).allowed
+
+    def test_pending_gate_checked_before_rate(self):
+        policy, _ = _policy(max_pending=1, burst=1)
+        assert policy.admit("alice", pending=1).kind == "quota"
+        # The quota rejection did not touch the bucket.
+        assert policy.admit("alice", pending=0).allowed

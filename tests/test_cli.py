@@ -479,3 +479,241 @@ class TestWorldLogCommands:
         )
         # ReproError: a domain refusal, not an environment failure.
         assert code == 1
+
+
+class TestServiceCommands:
+    """Exit-code and diagnostic pinning for serve/submit/jobs/watch."""
+
+    @pytest.fixture
+    def service(self):
+        """A live in-thread job server on a short /tmp socket path."""
+        import os
+        import shutil
+        import tempfile
+        import threading
+
+        from repro.service import JobServer, QuotaPolicy
+
+        scratch = tempfile.mkdtemp(prefix="rcli", dir="/tmp")
+        sock = os.path.join(scratch, "s.sock")
+        log = os.path.join(scratch, "log.worldlog")
+        server = JobServer(
+            log_path=log,
+            socket_path=sock,
+            quota=QuotaPolicy(max_pending=1, rate=1000.0, burst=1000),
+        )
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        assert server.ready.wait(timeout=30)
+        try:
+            yield sock, log
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=60)
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def test_submit_wait_prints_the_verdict(self, service, capsys):
+        sock, _ = service
+        code = main(
+            [
+                "submit",
+                "--socket",
+                sock,
+                "classify",
+                "weak",
+                "--n",
+                "5",
+                "--t",
+                "1",
+                "--wait",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # The verdict is the result: stdout.  Progress is diagnostic:
+        # stderr.
+        assert "weak n=5 t=1" in captured.out
+        assert "job.start" in captured.err
+        assert "job.start" not in captured.out
+
+    def test_submit_then_jobs_and_watch(self, service, capsys):
+        sock, log = service
+        assert (
+            main(
+                [
+                    "submit",
+                    "--socket",
+                    sock,
+                    "classify",
+                    "weak",
+                    "--n",
+                    "5",
+                    "--t",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        key = capsys.readouterr().out.split()[0]
+        assert len(key) == 16
+        assert main(["watch", "--socket", sock, key]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--socket", sock]) == 0
+        out = capsys.readouterr().out
+        assert key in out
+        assert "classify/weak/n5/t1" in out
+
+    def test_resubmission_is_cached(self, service, capsys):
+        sock, _ = service
+        spec = [
+            "submit",
+            "--socket",
+            sock,
+            "classify",
+            "weak",
+            "--n",
+            "5",
+            "--t",
+            "1",
+            "--wait",
+        ]
+        assert main(spec) == 0
+        capsys.readouterr()
+        assert main(spec[:-1]) == 0  # same spec, no --wait
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_quota_rejection_is_a_domain_failure(self, service, capsys):
+        sock, _ = service
+        # max_pending=1: a slow measure occupies the tenant's only slot.
+        assert (
+            main(
+                [
+                    "submit",
+                    "--socket",
+                    sock,
+                    "measure",
+                    "weak-consensus",
+                    "--n",
+                    "40",
+                    "--t",
+                    "36",
+                    "--tenant",
+                    "alice",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "submit",
+                "--socket",
+                sock,
+                "classify",
+                "weak",
+                "--n",
+                "5",
+                "--t",
+                "1",
+                "--tenant",
+                "alice",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert (
+            "error: quota: tenant alice has 1 pending jobs (max 1)"
+            in captured.err
+        )
+        assert captured.out == ""
+
+    def test_unknown_builder_fails_fast_client_side(
+        self, service, capsys
+    ):
+        sock, _ = service
+        code = main(
+            [
+                "submit",
+                "--socket",
+                sock,
+                "attack",
+                "no-such-cheater",
+                "--n",
+                "8",
+                "--t",
+                "4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown spec builder 'no-such-cheater'" in captured.err
+
+    def test_certify_on_classify_is_rejected(self, service, capsys):
+        sock, _ = service
+        code = main(
+            [
+                "submit",
+                "--socket",
+                sock,
+                "classify",
+                "weak",
+                "--n",
+                "5",
+                "--t",
+                "1",
+                "--certify",
+            ]
+        )
+        assert code == 1
+        assert (
+            "--certify applies to attack jobs only"
+            in capsys.readouterr().err
+        )
+
+    def test_missing_socket_is_an_environment_failure(self, capsys):
+        code = main(
+            [
+                "submit",
+                "--socket",
+                "/tmp/no-such-service.sock",
+                "classify",
+                "weak",
+                "--n",
+                "5",
+                "--t",
+                "1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_offline_reads_the_log(self, service, capsys):
+        sock, log = service
+        spec = [
+            "submit",
+            "--socket",
+            sock,
+            "classify",
+            "weak",
+            "--n",
+            "5",
+            "--t",
+            "1",
+            "--wait",
+        ]
+        assert main(spec) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--log", log]) == 0
+        assert "classify/weak/n5/t1" in capsys.readouterr().out
+
+    def test_jobs_offline_rejects_a_non_log_uniformly(
+        self, tmp_path, capsys
+    ):
+        bogus = tmp_path / "not-a-log.worldlog"
+        bogus.write_text("definitely not a record\n")
+        assert main(["jobs", "--log", str(bogus)]) == 2
+        err = capsys.readouterr().err
+        # The shared repro.artifact file:line diagnostic, verbatim.
+        assert f"error: {bogus}:1: not a world-log record" in err

@@ -18,6 +18,9 @@ import repro.lowerbound.bound
 import repro.obs.bench
 import repro.obs.ledger
 import repro.obs.metrics
+import repro.service.protocol
+import repro.service.queue
+import repro.service.quota
 import repro.sim.serialization
 import repro.worldlog.record
 
@@ -29,6 +32,9 @@ DOCUMENTED_MODULES = [
     repro.obs.bench,
     repro.obs.ledger,
     repro.obs.metrics,
+    repro.service.protocol,
+    repro.service.queue,
+    repro.service.quota,
     repro.sim.serialization,
     repro.worldlog.record,
 ]

@@ -177,3 +177,90 @@ class TestLegacyImport:
             import_legacy([good, bad], out)
         # The sniff pass runs first: nothing was partially written.
         assert not os.path.exists(out)
+
+
+class TestJobsView:
+    """The service-era jobs view: one manifest entry per job key."""
+
+    def _record(self, tick, kind, payload):
+        from repro.worldlog.record import Record
+
+        return Record(
+            tick=tick,
+            kind=kind,
+            payload=payload,
+            run_id="r",
+            worker_id=1,
+        )
+
+    def _records(self):
+        return [
+            self._record(
+                1,
+                "job.submitted",
+                {
+                    "key": "aa",
+                    "tenant": "alice",
+                    "priority": 2,
+                    "job": {"kind": "classify"},
+                },
+            ),
+            self._record(2, "job.start", {"key": "aa"}),
+            self._record(3, "job.result", {"key": "aa", "result": {}}),
+            self._record(
+                4,
+                "job.submitted",
+                {
+                    "key": "bb",
+                    "tenant": "bob",
+                    "priority": 0,
+                    "job": {"kind": "attack"},
+                },
+            ),
+            self._record(5, "job.start", {"key": "bb"}),
+            self._record(
+                6,
+                "job.error",
+                {
+                    "key": "bb",
+                    "error_kind": "exception",
+                    "message": "boom",
+                },
+            ),
+        ]
+
+    def test_manifest_folds_the_lifecycle(self):
+        from repro.worldlog.views import JOBS_SCHEMA, jobs_manifest
+
+        manifest = jobs_manifest(self._records())
+        assert manifest["schema"] == JOBS_SCHEMA
+        done, failed = manifest["jobs"]
+        assert done["key"] == "aa"
+        assert done["state"] == "done"
+        assert (done["submitted_tick"], done["terminal_tick"]) == (1, 3)
+        assert failed["state"] == "failed"
+        assert failed["error_kind"] == "exception"
+        assert failed["message"] == "boom"
+
+    def test_started_but_unfinished_job_shows_running(self):
+        from repro.worldlog.views import jobs_manifest
+
+        manifest = jobs_manifest(self._records()[:2])
+        (entry,) = manifest["jobs"]
+        assert entry["state"] == "running"
+        assert entry["terminal_tick"] is None
+
+    def test_derive_views_writes_jobs_json(self, tmp_path):
+        out_dir = str(tmp_path / "views")
+        written = derive_views(self._records(), out_dir)
+        assert written["jobs"] == [os.path.join(out_dir, "jobs.json")]
+        document = json.loads(_read(written["jobs"][0]))
+        assert document["schema"] == "repro.jobs/v1"
+        assert [entry["key"] for entry in document["jobs"]] == [
+            "aa",
+            "bb",
+        ]
+
+    def test_logs_without_jobs_derive_no_jobs_view(self, tmp_path):
+        written = derive_views([], str(tmp_path / "empty"))
+        assert "jobs" not in written

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (files and heading anchors) for rot.
+
+Scans the given markdown files — by default ``README.md``, ``DESIGN.md``,
+``EXPERIMENTS.md``, ``ROADMAP.md`` and everything under ``docs/`` — and
+verifies that every relative link target exists and that every fragment
+(``#section-anchor``) matches a heading in the target file, using
+GitHub's heading-slug rules.  External links (``http://``, ``https://``,
+``mailto:``) are out of scope: they rot for reasons no repository test
+can pin.
+
+Exit codes: 0 all links resolve, 1 at least one dead link (each printed
+as ``file:line: dead link ...``), 2 an input file is missing.
+
+Usage::
+
+    python tools/check_doc_links.py            # default file set
+    python tools/check_doc_links.py README.md docs/SERVICE.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+# [text](target) — target captured up to the first unescaped ")".
+_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+# GitHub slugging keeps word characters and hyphens; spaces become hyphens.
+_SLUG_DROP = re.compile(r"[^\w\- ]", re.UNICODE)
+_INLINE_MARKUP = re.compile(r"[*_`]|\[|\]\([^()\s]*\)")
+
+
+def github_slug(heading: str) -> str:
+    """Slugify a heading the way GitHub's anchor generator does.
+
+    >>> github_slug("The wire protocol (`repro.service/v1`)")
+    'the-wire-protocol-reproservicev1'
+    >>> github_slug("Quotas, rate limits, priorities")
+    'quotas-rate-limits-priorities'
+    """
+    text = _INLINE_MARKUP.sub("", heading)
+    text = _SLUG_DROP.sub("", text.lower())
+    return text.strip().replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs defined by a markdown file's headings."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every markdown link in *path*."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    """Return ``file:line: dead link`` diagnostics for one markdown file."""
+    problems: list[str] = []
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
+    for line_number, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        dest = path if not raw_path else (path.parent / raw_path).resolve()
+        if not dest.exists():
+            problems.append(
+                f"{rel}:{line_number}: dead link {target!r}: "
+                f"no such file {raw_path!r}"
+            )
+            continue
+        if not fragment:
+            continue
+        if dest.suffix.lower() not in (".md", ".markdown"):
+            continue
+        if dest not in anchor_cache:
+            anchor_cache[dest] = heading_anchors(dest)
+        if fragment.lower() not in anchor_cache[dest]:
+            try:
+                dest_rel = dest.relative_to(REPO_ROOT)
+            except ValueError:
+                dest_rel = dest
+            problems.append(
+                f"{rel}:{line_number}: dead link {target!r}: "
+                f"no heading slug {fragment!r} in {dest_rel}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="markdown files to check (default: README/DESIGN/EXPERIMENTS/"
+        "ROADMAP + docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.files:
+        files = [Path(name).resolve() for name in args.files]
+    else:
+        files = [
+            REPO_ROOT / name
+            for name in DEFAULT_FILES
+            if (REPO_ROOT / name).exists()
+        ]
+        files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+
+    anchor_cache: dict[Path, set[str]] = {}
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, anchor_cache))
+
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(
+            f"{len(problems)} dead link(s) across {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
