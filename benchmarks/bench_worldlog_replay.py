@@ -1,0 +1,150 @@
+"""Time-travel benchmarks: cursor throughput and diff wall time.
+
+The replay cursor's promise is that stepping a past run is cheap enough
+to be an everyday debugging tool, and the differ's promise is that
+comparing two whole logs is an interactive operation — both measured
+here over a synthetic sweep-shaped log (plan, per-cell span/round
+events, terminal records, gather splice) large enough to dominate any
+fixed cost.  Each kernel asserts its shape claim, so a timing run
+doubles as a correctness run; the quick tier feeds the committed
+``benchmarks/baselines/BENCH_worldlog_replay.json`` baseline and the CI
+``worldlog-replay`` job.
+"""
+
+from repro.obs.bench import benchmark_kernel
+from repro.worldlog.diffing import diff_logs
+from repro.worldlog.record import Record
+from repro.worldlog.replay import ReplayCursor, replay_state
+
+CELLS = 48
+ROUNDS_PER_CELL = 24
+
+
+def _synthetic_log(run_id: str, jitter: float) -> list[Record]:
+    """A deterministic sweep-shaped log (~2.5k records).
+
+    ``jitter`` perturbs only wall-clock payload fields (timestamps and
+    per-round seconds), never semantic content, so two builds with
+    different jitter must diff empty — which
+    ``bench_diff_timing_only_twins`` asserts while timing the comparison.
+    """
+    records: list[Record] = []
+    tick = 0
+
+    def append(kind, payload, cell_id=None):
+        nonlocal tick
+        records.append(
+            Record(
+                tick=tick,
+                kind=kind,
+                payload=payload,
+                run_id=run_id,
+                cell_id=cell_id,
+                worker_id=1,
+            )
+        )
+        tick += 1
+
+    def event(ts, kind, name, value, cell, attrs):
+        return {
+            "ts": ts + jitter,
+            "kind": kind,
+            "name": name,
+            "value": value,
+            "run_id": run_id,
+            "cell_id": cell,
+            "worker_id": 1,
+            "attrs": attrs,
+        }
+
+    append("log.open", {"schema": "repro.worldlog/v1"})
+    append(
+        "sweep.plan",
+        {"jobs": [{"index": index} for index in range(CELLS)]},
+    )
+    clock = 0.0
+    splice: list[tuple[dict, str]] = []
+    for index in range(CELLS):
+        cell = f"cell/{index:03d}"
+        cell_events = [event(clock, "span-start", "attack", None, cell, {})]
+        messages = 0
+        for round_index in range(ROUNDS_PER_CELL):
+            clock += 0.001
+            messages += round_index % 5
+            cell_events.append(
+                event(
+                    clock,
+                    "counter",
+                    "engine.round",
+                    round_index % 5,
+                    cell,
+                    {
+                        "round": round_index,
+                        "run": 0,
+                        "seconds": 0.001 + jitter,
+                        "cum_messages": messages,
+                        "vs_floor": messages / 32.0,
+                    },
+                )
+            )
+        clock += 0.001
+        cell_events.append(
+            event(clock, "counter", "cache.hits", index % 3, cell, {})
+        )
+        cell_events.append(
+            event(clock, "gauge", "cell.wall_seconds", 0.5 + jitter, cell, {})
+        )
+        cell_events.append(event(clock, "span-end", "attack", None, cell, {}))
+        splice.extend((payload, cell) for payload in cell_events)
+        append(
+            "cell.result",
+            {"index": index, "result": {"wall_seconds": 0.5 + jitter}},
+            cell,
+        )
+    append("gather.start", {})
+    for payload, cell in splice:
+        append("ledger.event", payload, cell)
+    return records
+
+
+_LOG_A = _synthetic_log("bench-a", jitter=0.0)
+_LOG_B = _synthetic_log("bench-b", jitter=0.125)
+_EVENTS = sum(1 for r in _LOG_A if r.kind == "ledger.event")
+
+
+@benchmark_kernel("worldlog_replay", "cursor_forward_throughput", quick=True)
+def bench_cursor_forward_throughput():
+    """Full forward replay: records/sec is len(log)/measured seconds."""
+    cursor = ReplayCursor(_LOG_A)
+    while cursor.next() is not None:
+        pass
+    assert cursor.position == len(_LOG_A)
+    state = cursor.state
+    assert len(state.completed_cells) == CELLS
+    assert len(state.events) == _EVENTS
+    assert state.rounds_observed == CELLS * ROUNDS_PER_CELL
+    return cursor
+
+
+@benchmark_kernel("worldlog_replay", "cursor_backward_seeks", quick=True)
+def bench_cursor_backward_seeks():
+    """Snapshot-assisted backward seeks across the whole log."""
+    cursor = ReplayCursor(_LOG_A)
+    last_tick = _LOG_A[-1].tick
+    cursor.seek(last_tick)
+    for tick in range(last_tick, 0, -max(1, last_tick // 64)):
+        state = cursor.seek(tick)
+        assert state.tick <= tick
+    state = cursor.seek(1)
+    assert state.position == 2
+    assert replay_state(_LOG_A[:2]) == state
+    return cursor
+
+
+@benchmark_kernel("worldlog_replay", "diff_timing_only_twins", quick=True)
+def bench_diff_timing_only_twins():
+    """Whole-log semantic diff of two timing-jittered twins: empty."""
+    report = diff_logs(_LOG_A, _LOG_B)
+    assert report.ok, report.render()
+    assert report.compared == len(_LOG_A) - 1  # gather marker dropped
+    return report

@@ -17,9 +17,15 @@ Subcommands:
   (legacy ``trend.jsonl`` or a world log) and diff it against the
   previous point.
 * ``log show`` / ``log derive`` / ``log import`` / ``log resume`` —
-  the world-log toolbox: list an append-only record store, re-derive
-  the legacy artifact views from it, fold legacy files into a fresh
-  log, and finish an interrupted sweep from its recorded plan.
+  the world-log toolbox: list an append-only record store (with
+  ``--kind/--cell/--run/--tail`` filters), re-derive the legacy
+  artifact views from it, fold legacy files into a fresh log, and
+  finish an interrupted sweep from its recorded plan.
+* ``log replay`` / ``log diff`` / ``log stats`` — time travel: step a
+  past run record-by-record (``--at TICK`` one-shot or stdin-driven),
+  semantically diff two logs of the same matrix (key-aligned, timing
+  ignored; exit 1 at the first real divergence), and extract new
+  metrics from old logs as trend-shaped JSON.
 * ``bench run`` / ``bench compare`` / ``bench list`` — the benchmark
   observatory: measure registered kernels outside pytest, append the
   points to per-suite ``BENCH_<suite>.json`` trajectories, and gate
@@ -359,7 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "operate on append-only world logs: show records, derive "
             "the legacy artifact views, import legacy files, resume "
-            "an interrupted sweep"
+            "an interrupted sweep, replay/diff/stat past runs"
         ),
     )
     log_sub = log_parser.add_subparsers(dest="log_command", required=True)
@@ -372,6 +378,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="KIND",
         help="show only records of this kind (repeatable)",
+    )
+    log_show.add_argument(
+        "--cell",
+        action="append",
+        metavar="CELL",
+        help="show only records of this cell id (repeatable)",
+    )
+    log_show.add_argument(
+        "--run",
+        action="append",
+        metavar="RUN",
+        help="show only records of this run id (repeatable)",
+    )
+    log_show.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after filtering, show only the last N records",
     )
     log_derive = log_sub.add_parser(
         "derive",
@@ -420,6 +445,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: serial)",
     )
     _progress_options(log_resume)
+    log_replay = log_sub.add_parser(
+        "replay",
+        help=(
+            "time-travel a past run: step record-by-record with a "
+            "replay cursor and print what the system knew at tick T"
+        ),
+    )
+    log_replay.add_argument("path", help="world log file")
+    log_replay.add_argument(
+        "--at",
+        type=int,
+        default=None,
+        metavar="TICK",
+        help=(
+            "one-shot: print the state after the last record with "
+            "tick <= TICK and exit (past-the-end ticks land at the "
+            "end); without it, commands are read from stdin "
+            "(next/prev [N], seek TICK, state, quit)"
+        ),
+    )
+    log_diff = log_sub.add_parser(
+        "diff",
+        help=(
+            "semantic diff of two logs of the same matrix: key-aligned "
+            "by (kind, name, cell), timing-only divergence ignored; "
+            "exit 0 when empty, 1 at the first real divergence"
+        ),
+    )
+    log_diff.add_argument("a", help="first world log")
+    log_diff.add_argument("b", help="second world log")
+    log_stats_parser = log_sub.add_parser(
+        "stats",
+        help=(
+            "post-hoc metrics from an old log (no schema migration): "
+            "per-cell percentiles, span totals, cache hit rate, "
+            "per-tenant job + rejection counts, as trend-shaped JSON"
+        ),
+    )
+    log_stats_parser.add_argument("path", help="world log file")
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -1243,24 +1307,106 @@ def _dispatch_watch(args: argparse.Namespace) -> int:
     return _print_terminal(final)
 
 
+def _record_line(record) -> str:
+    """One ``log show``-style listing line for a record."""
+    cell = record.cell_id or "-"
+    name = record.name or ""
+    return f"{record.tick:>6}  {record.kind:<13} {cell:<24} {name}"
+
+
+def _dispatch_log_replay(args: argparse.Namespace) -> int:
+    """``repro log replay``: one-shot ``--at TICK`` or stdin-driven."""
+    from repro.worldlog.replay import ReplayCursor, render_state
+    from repro.worldlog.store import read_worldlog
+
+    records = read_worldlog(args.path)
+    cursor = ReplayCursor(records)
+    if args.at is not None:
+        cursor.seek(args.at)
+        print(render_state(cursor.state, total=len(records)))
+        return 0
+    _info(
+        f"world log {args.path}: {len(records)} record(s), run "
+        f"{records[0].run_id}; commands: next/prev [N], seek TICK, "
+        "state, quit"
+    )
+    for line in sys.stdin:
+        parts = line.split()
+        if not parts:
+            continue
+        command, rest = parts[0], parts[1:]
+        try:
+            count = int(rest[0]) if rest else 1
+        except ValueError:
+            _info(f"not a number: {rest[0]!r}")
+            continue
+        if command in ("next", "n"):
+            for _ in range(count):
+                record = cursor.next()
+                if record is None:
+                    _info("(end of log)")
+                    break
+                print(_record_line(record))
+        elif command in ("prev", "p"):
+            for _ in range(count):
+                record = cursor.prev()
+                if record is None:
+                    _info("(start of log)")
+                    break
+                print(_record_line(record))
+        elif command == "seek" and rest:
+            cursor.seek(count)
+            print(
+                f"at tick {cursor.state.tick} "
+                f"({cursor.position}/{len(records)} records)"
+            )
+        elif command in ("state", "s"):
+            print(render_state(cursor.state, total=len(records)))
+        elif command in ("quit", "q"):
+            break
+        else:
+            _info(f"unknown command {command!r}")
+    return 0
+
+
 def _dispatch_log(args: argparse.Namespace) -> int:
     from repro.worldlog.store import read_worldlog
 
     if args.log_command == "show":
+        from repro.worldlog.replay import select_records
+
         records = read_worldlog(args.path)
-        kinds = set(args.kind or [])
         print(
             f"world log {args.path}: {len(records)} record(s), "
             f"run {records[0].run_id}"
         )
-        for record in records:
-            if kinds and record.kind not in kinds:
-                continue
-            cell = record.cell_id or "-"
-            name = record.name or ""
-            print(
-                f"{record.tick:>6}  {record.kind:<13} {cell:<24} {name}"
-            )
+        for record in select_records(
+            records,
+            kinds=args.kind,
+            cells=args.cell,
+            runs=args.run,
+            tail=args.tail,
+        ):
+            print(_record_line(record))
+        return 0
+    if args.log_command == "replay":
+        return _dispatch_log_replay(args)
+    if args.log_command == "diff":
+        from repro.worldlog.diffing import diff_logs
+
+        report = diff_logs(
+            read_worldlog(args.a), read_worldlog(args.b)
+        )
+        print(report.render(args.a, args.b))
+        return 0 if report.ok else 1
+    if args.log_command == "stats":
+        import json
+        import time
+
+        from repro.worldlog.replay import log_stats
+
+        document = log_stats(read_worldlog(args.path), now=time.time())
+        print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     if args.log_command == "derive":
         from repro.worldlog.views import derive_views

@@ -116,6 +116,59 @@ def _last_gauge(
     return found
 
 
+def span_totals(
+    events: Sequence[LedgerEvent],
+) -> dict[str, dict[str, float]]:
+    """Flat accumulated span durations: name → ``{seconds, count}``.
+
+    The flat companion to :func:`build_span_tree` — same pairing rule
+    (per ``(worker_id, cell_id)`` stream), but same-named spans
+    accumulate regardless of nesting depth.  Shared by the trace
+    renderer's consumers and ``repro log stats`` (certificate verify
+    time is the ``witness-verify`` + ``certify`` rows).
+    """
+    totals: dict[str, dict[str, float]] = {}
+    stacks: dict[tuple[int, str | None], list[tuple[str, float]]] = {}
+    for event in events:
+        stream = (event.worker_id, event.cell_id)
+        stack = stacks.setdefault(stream, [])
+        if event.kind == "span-start":
+            stack.append((event.name, event.ts))
+        elif event.kind == "span-end":
+            while stack:
+                name, started = stack.pop()
+                if name == event.name:
+                    entry = totals.setdefault(
+                        name, {"seconds": 0.0, "count": 0}
+                    )
+                    entry["seconds"] += event.ts - started
+                    entry["count"] += 1
+                    break
+    return dict(sorted(totals.items()))
+
+
+def percentiles(
+    values: Sequence[float],
+    marks: Sequence[float] = (0.5, 0.9, 0.99),
+) -> dict[str, float]:
+    """Nearest-rank percentiles of ``values``: ``{"p50": ..., ...}``.
+
+    Empty input yields an empty dict (a log with no per-cell data has
+    no percentiles, not a zero).  Shared by ``repro log stats`` and any
+    renderer that distills a metric series into a summary row.
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    result: dict[str, float] = {}
+    for mark in marks:
+        rank = max(0, min(len(ordered) - 1, round(mark * len(ordered)) - 1))
+        label = f"p{mark * 100:g}"
+        result[label] = ordered[rank]
+    result["max"] = ordered[-1]
+    return result
+
+
 def cache_hit_rate(events: Sequence[LedgerEvent]) -> float | None:
     """``(hits + alias_hits) / lookups`` over the whole ledger."""
     hits = _counter_total(events, "cache.hits")

@@ -12,6 +12,9 @@ that matters in the world log:
   per accepted key**, even across restarts: a restart only re-queues
   jobs with no terminal record, and an idempotent re-submission of a
   terminal key is answered from the log without running anything.
+* ``job.rejected`` — a quota/rate rejection at admission time, recorded
+  for post-hoc per-tenant accounting (``repro log stats``).  It enters
+  no queue and is invisible to recovery and the jobs manifest.
 
 Crash-resume follows the sweep scheduler's contract: the log is the
 queue.  ``JobServer`` on an existing log resumes it
@@ -385,6 +388,20 @@ class JobServer:
             tenant, pending=self._pending.get(tenant, 0)
         )
         if not decision.allowed:
+            # Observability only: the rejection enters no queue and
+            # charges no quota, but it is recorded so post-hoc tooling
+            # (``repro log stats``) can count rejections per tenant.
+            # The recovery fold and the jobs manifest both ignore it.
+            self._append(
+                "job.rejected",
+                {
+                    "key": key,
+                    "tenant": tenant,
+                    "kind": decision.kind,
+                    "reason": decision.reason,
+                },
+                job_label(job.key, key),
+            )
             await self._send(
                 writer, error_frame(decision.kind, decision.reason)
             )

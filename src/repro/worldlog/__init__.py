@@ -5,26 +5,51 @@ One run writes one *world log*: a tick-ordered JSONL sequence of typed
 repository used to persist separately — ledger events, attack
 certificates, driver checkpoints, benchmark points, trend points — is a
 *view* derived by scanning the log (:mod:`repro.worldlog.views`); the
-log itself is the only thing any layer writes.  See
+log itself is the only thing any layer writes.  On top of the views sit
+the time-travel tools: a replay cursor that materializes "what the
+system knew at tick T" (:mod:`repro.worldlog.replay`), a tick-aligned
+semantic differ (:mod:`repro.worldlog.diffing`), and post-hoc metric
+extraction (:func:`~repro.worldlog.replay.log_stats`).  See
 ``docs/WORLDLOG.md`` for the contract.
 """
 
+from repro.worldlog.diffing import LogDiff, diff_logs
 from repro.worldlog.record import (
     KINDS,
     WORLDLOG_SCHEMA,
     Record,
     log_order_signature,
 )
-from repro.worldlog.store import WorldLog, is_worldlog, read_worldlog
+from repro.worldlog.replay import (
+    ReplayCursor,
+    ReplayState,
+    log_stats,
+    replay_state,
+    select_records,
+)
+from repro.worldlog.store import (
+    WorldLog,
+    is_worldlog,
+    read_records,
+    read_worldlog,
+)
 from repro.worldlog.views import derive_views
 
 __all__ = [
     "KINDS",
     "WORLDLOG_SCHEMA",
+    "LogDiff",
     "Record",
+    "ReplayCursor",
+    "ReplayState",
     "WorldLog",
     "derive_views",
+    "diff_logs",
     "is_worldlog",
     "log_order_signature",
+    "log_stats",
+    "read_records",
     "read_worldlog",
+    "replay_state",
+    "select_records",
 ]

@@ -55,6 +55,7 @@ KINDS = (
     "job.start",
     "job.result",
     "job.error",
+    "job.rejected",
 )
 """The typed record vocabulary, in documentation order.
 
@@ -83,6 +84,11 @@ KINDS = (
   accepted job — the invariant a killed-and-restarted ``repro serve``
   resumes on.  The ``jobs`` derived view renders these as the
   ``jobs.json`` manifest.
+* ``job.rejected`` — a quota/rate rejection at admission time: key,
+  tenant, rejection kind and reason.  Pure observability (``repro log
+  stats`` folds these into per-tenant rejection counts): a rejected
+  submission enters no queue, charges no quota, and is ignored by the
+  recovery fold and the jobs manifest.
 """
 
 
@@ -137,6 +143,16 @@ class Record:
         )
 
     @property
+    def align_key(self) -> tuple[str, str | None, str | None]:
+        """The wall-clock-independent alignment key ``(kind, name, cell_id)``.
+
+        One element of :func:`log_order_signature`; the key the
+        semantic differ (:mod:`repro.worldlog.diffing`) aligns two
+        logs by, so ticks and timestamps never count as divergence.
+        """
+        return (self.kind, self.name, self.cell_id)
+
+    @property
     def name(self) -> str | None:
         """The payload's ``name`` field, when it carries one.
 
@@ -180,7 +196,4 @@ def log_order_signature(
     legitimately differ between backends and between interrupted-and-
     resumed versus uninterrupted runs; this sequence must not.
     """
-    return [
-        (record.kind, record.name, record.cell_id)
-        for record in records
-    ]
+    return [record.align_key for record in records]

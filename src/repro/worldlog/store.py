@@ -151,17 +151,21 @@ class WorldLog:
             self._handle.close()
 
 
-def read_worldlog(path: str) -> list[Record]:
-    """Load a persisted world log, tolerating a torn final line.
+def read_records(path: str) -> list[Record]:
+    """Parse every complete record of one log file, torn-tail-safe.
 
-    The first record must be the ``log.open`` header carrying the
-    :data:`~repro.worldlog.record.WORLDLOG_SCHEMA` tag.  A final line
-    with no trailing newline that fails to parse is dropped (the
-    write-through appender guarantees that is the only shape a crash
-    can leave); a malformed line anywhere else raises.
+    The single parsing path every reader shares — :func:`read_worldlog`
+    (and through it :meth:`WorldLog.resume`, the derived views, the
+    replay cursor and the differ) all see exactly this record list, so
+    a truncated-mid-record log cannot mean different things to
+    different entry points.  A final line with no trailing newline that
+    fails to parse is dropped (the write-through appender guarantees
+    that is the only shape a crash can leave); a malformed line
+    anywhere else raises.  No header validation happens here — that is
+    :func:`read_worldlog`'s contract.
 
     Raises:
-        ArtifactError: if the file is not a world log (CLI exit 2).
+        ArtifactError: on a malformed non-final line (CLI exit 2).
         OSError: if the file cannot be read.
     """
     with open(path, encoding="utf-8") as handle:
@@ -181,6 +185,21 @@ def read_worldlog(path: str) -> list[Record]:
             raise artifact_error(
                 path, "world-log record", exc, line=number
             ) from exc
+    return records
+
+
+def read_worldlog(path: str) -> list[Record]:
+    """Load a persisted world log, tolerating a torn final line.
+
+    :func:`read_records` plus header validation: the first record must
+    be the ``log.open`` header carrying the
+    :data:`~repro.worldlog.record.WORLDLOG_SCHEMA` tag.
+
+    Raises:
+        ArtifactError: if the file is not a world log (CLI exit 2).
+        OSError: if the file cannot be read.
+    """
+    records = read_records(path)
     if (
         not records
         or records[0].kind != "log.open"

@@ -46,8 +46,14 @@ JOBS_SCHEMA = "repro.jobs/v1"
 """The schema tag of the derived service job manifest."""
 
 
-def _after_last_gather(records: Sequence[Record]) -> Sequence[Record]:
-    """Records after the last ``gather.start`` marker (all, if none)."""
+def after_last_gather(records: Sequence[Record]) -> Sequence[Record]:
+    """Records after the last ``gather.start`` marker (all, if none).
+
+    The crash-mid-gather rule every event consumer shares: the ledger
+    view, the replay cursor's event-derived state and the semantic
+    differ all read ledger events through this window, so a resumed
+    log's re-spliced events never double-count anywhere.
+    """
     last = None
     for index, record in enumerate(records):
         if record.kind == "gather.start":
@@ -59,7 +65,7 @@ def ledger_lines(records: Sequence[Record]) -> list[str]:
     """The derived ledger view as JSONL lines (no trailing newlines)."""
     return [
         json.dumps(record.payload)
-        for record in _after_last_gather(records)
+        for record in after_last_gather(records)
         if record.kind == "ledger.event"
     ]
 

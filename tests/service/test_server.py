@@ -307,7 +307,16 @@ class TestQuotas:
         _drain(client, [key])
         _stop(server, thread)
 
-    def test_rejected_submission_leaves_no_record(self, paths):
+    def test_rejected_submission_records_only_the_rejection(self, paths):
+        """A rejection enters no queue but is recorded for accounting.
+
+        The ``job.rejected`` record is pure observability (``repro log
+        stats`` counts rejections per tenant): no ``job.submitted``, no
+        quota charge, invisible to recovery and the jobs manifest.
+        """
+        from repro.worldlog.replay import log_stats
+        from repro.worldlog.views import jobs_manifest
+
         sock, log = paths
         server, thread = _start(
             log, sock, quota=QuotaPolicy(max_pending=0)
@@ -316,7 +325,15 @@ class TestQuotas:
         with pytest.raises(ServiceError):
             client.submit(encode_job(ClassifyJob("weak", 5, 1)))
         _stop(server, thread)
-        assert [r.kind for r in read_worldlog(log)] == ["log.open"]
+        records = read_worldlog(log)
+        assert [r.kind for r in records] == ["log.open", "job.rejected"]
+        rejection = records[-1].payload
+        assert rejection["tenant"] == "default"
+        assert rejection["kind"] == "quota"
+        # Invisible to the queue views, visible to post-hoc stats.
+        assert jobs_manifest(records)["jobs"] == []
+        stats = log_stats(records)
+        assert stats["tenants"]["default"]["rejected"] == {"quota": 1}
 
 
 def _serve_subprocess(log_path, sock_path):

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -717,3 +719,100 @@ class TestServiceCommands:
         err = capsys.readouterr().err
         # The shared repro.artifact file:line diagnostic, verbatim.
         assert f"error: {bogus}:1: not a world-log record" in err
+
+
+class TestTimeTravelCommands:
+    """``log show`` filters and the ``replay``/``diff``/``stats`` trio."""
+
+    GOLDEN = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "worldlog",
+        "golden",
+        "run.worldlog",
+    )
+
+    def test_log_show_filters_and_tail(self, capsys):
+        assert (
+            main(
+                [
+                    "log", "show", self.GOLDEN,
+                    "--kind", "ledger.event",
+                    "--run", "golden",
+                    "--tail", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Header plus exactly the last two surviving records.
+        body = [line for line in out.splitlines()[1:] if line.strip()]
+        assert len(body) == 2
+        assert all("ledger.event" in line for line in body)
+
+    def test_log_show_cell_filter(self, capsys):
+        assert (
+            main(["log", "show", self.GOLDEN, "--cell", "no-such-cell"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert len([ln for ln in out.splitlines()[1:] if ln.strip()]) == 0
+
+    def test_log_replay_one_shot(self, capsys):
+        assert main(["log", "replay", self.GOLDEN, "--at", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "tick 20" in out
+        assert "21/39 record(s) applied" in out
+        assert "open spans:" in out
+
+    def test_log_replay_stdin_script(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("next 3\nstate\nprev 2\nseek 38\nstate\nquit\n"),
+        )
+        assert main(["log", "replay", self.GOLDEN]) == 0
+        out = capsys.readouterr().out
+        assert "log.open" in out  # the first stepped record line
+        assert "at tick 38" in out
+        assert "39/39 record(s) applied" in out
+
+    def test_log_diff_empty_exits_zero(self, capsys):
+        assert main(["log", "diff", self.GOLDEN, self.GOLDEN]) == 0
+        assert "semantically identical" in capsys.readouterr().out
+
+    def test_log_diff_divergence_exits_one(self, tmp_path, capsys):
+        import json
+
+        mutated = tmp_path / "mutated.worldlog"
+        with open(self.GOLDEN, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        raw = json.loads(lines[20])
+        raw["payload"]["name"] = "not-the-same-event"
+        lines[20] = json.dumps(raw) + "\n"
+        mutated.write_text("".join(lines))
+        assert main(["log", "diff", self.GOLDEN, str(mutated)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "not-the-same-event" in out
+
+    def test_log_diff_missing_file_exits_two(self, capsys):
+        assert main(["log", "diff", self.GOLDEN, "no-such.worldlog"]) == 2
+
+    def test_log_stats_prints_trend_shaped_json(self, capsys):
+        import json
+
+        assert main(["log", "stats", self.GOLDEN]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.logstats/v1"
+        assert document["label"] == "log/golden"
+        for key in (
+            "wall_seconds",
+            "rounds_simulated",
+            "messages_observed",
+            "events",
+            "cache_hit_rate",
+            "spans",
+            "percentiles",
+        ):
+            assert key in document

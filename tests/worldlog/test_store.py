@@ -178,3 +178,62 @@ class TestWorldLog:
         assert record.worker_id == 1
         (event,) = ledger.events
         assert json.dumps(record.payload) == event.to_json()
+
+
+class TestReadRecordsUnification:
+    """Every reader shares one parsing path (``read_records``).
+
+    The regression this pins: a log truncated mid-record (the
+    write-through appender's one legal crash shape) must yield the
+    *identical* record list from every entry point — the raw parser,
+    the header-validating loader, a resumed store, the replay cursor
+    and the semantic differ.
+    """
+
+    def _torn_log(self, tmp_path):
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            log.append("checkpoint", {"rounds": 1})
+            log.append("trend.point", {"label": "x"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"tick": 3, "kind": "cell.resu')  # torn tail
+        return path
+
+    def test_every_entry_point_sees_the_same_records(self, tmp_path):
+        from repro.worldlog import (
+            ReplayCursor,
+            diff_logs,
+            read_records,
+            replay_state,
+        )
+
+        path = self._torn_log(tmp_path)
+        parsed = read_records(path)
+        assert [record.tick for record in parsed] == [0, 1, 2]
+
+        assert read_worldlog(path) == parsed
+
+        resumed = WorldLog.resume(path)
+        try:
+            assert resumed.records == parsed
+        finally:
+            resumed.close()
+
+        cursor = ReplayCursor(read_worldlog(path))
+        cursor.seek(10**9)
+        assert cursor.position == len(parsed)
+        assert cursor.state == replay_state(parsed)
+
+        report = diff_logs(read_worldlog(path), parsed)
+        assert report.ok
+
+    def test_read_records_skips_header_validation(self, tmp_path):
+        """``read_records`` parses; ``read_worldlog`` validates."""
+        from repro.worldlog import read_records
+
+        path = tmp_path / "headless.worldlog"
+        record = Record(tick=0, kind="trend.point", payload={})
+        path.write_text(record.to_json() + "\n")
+        assert read_records(str(path)) == [record]
+        with pytest.raises(ArtifactError):
+            read_worldlog(str(path))
