@@ -129,6 +129,27 @@ def _resolve_progress(args: argparse.Namespace) -> bool:
     return flag
 
 
+def _telemetry_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "sample telemetry.snapshot records into the --ledger "
+            "world log (observability-only: invisible to resume, "
+            "recovery and the semantic differ)"
+        ),
+    )
+    subparser.add_argument(
+        "--telemetry-interval",
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds between telemetry samples (default: 1; "
+            "implies --telemetry)"
+        ),
+    )
+
+
 def _ledger_option(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--ledger",
@@ -236,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _ledger_option(attack)
+    _telemetry_options(attack)
 
     verify = subparsers.add_parser(
         "verify-witness",
@@ -359,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _ledger_option(sweep_parser)
     _progress_options(sweep_parser)
+    _telemetry_options(sweep_parser)
 
     log_parser = subparsers.add_parser(
         "log",
@@ -397,6 +420,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="after filtering, show only the last N records",
+    )
+    log_tail = log_sub.add_parser(
+        "tail",
+        help=(
+            "stream a world log's records as they are appended: one "
+            "listing line per complete record, torn tails held back "
+            "until their newline lands; --follow keeps polling like "
+            "tail -f"
+        ),
+    )
+    log_tail.add_argument("path", help="world log file")
+    log_tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep polling for new records until interrupted",
+    )
+    log_tail.add_argument(
+        "--interval",
+        default="0.5",
+        metavar="SECONDS",
+        help="seconds between polls with --follow (default: 0.5)",
+    )
+    log_tail.add_argument(
+        "--max-polls", type=int, default=None, help=argparse.SUPPRESS
     )
     log_derive = log_sub.add_parser(
         "derive",
@@ -502,6 +550,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         metavar="N",
         help="how many slowest rounds to list (default: 5)",
+    )
+    trace_parser.add_argument(
+        "--format",
+        choices=("text", "chrome"),
+        default="text",
+        help=(
+            "text: the phase-tree timeline (default); chrome: "
+            "trace-event JSON that Perfetto and chrome://tracing open"
+        ),
     )
 
     report_parser = subparsers.add_parser(
@@ -715,6 +772,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=20,
         help="per-tenant rate-limit burst capacity (default: 20)",
     )
+    serve_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "sample the live status fold into telemetry.snapshot "
+            "records in the server's world log (observability-only)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--telemetry-interval",
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds between telemetry samples (default: 1; "
+            "implies --telemetry)"
+        ),
+    )
 
     submit_parser = subparsers.add_parser(
         "submit",
@@ -804,6 +878,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="the server's unix socket",
     )
     watch_parser.add_argument("key", help="the job's idempotent key")
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help=(
+            "one status frame from a running attack server: queue "
+            "depth by priority, per-tenant quota occupancy, worker "
+            "utilization, per-job progress"
+        ),
+    )
+    status_parser.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the server's unix socket",
+    )
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw status frame as JSON",
+    )
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help=(
+            "live dashboard: redraw the server status frame (from a "
+            "socket) or a growing world log's fold (from --log) on an "
+            "interval; stderr-disciplined like --progress"
+        ),
+    )
+    top_source = top_parser.add_mutually_exclusive_group(required=True)
+    top_source.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="a running server's unix socket",
+    )
+    top_source.add_argument(
+        "--log",
+        metavar="WORLDLOG",
+        help="follow a growing world log instead of a server",
+    )
+    top_parser.add_argument(
+        "--interval",
+        default="1",
+        metavar="SECONDS",
+        help="seconds between redraws (default: 1)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (for scripts and tests)",
+    )
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="export recorded metrics in formats other tools ingest",
+    )
+    metrics_sub = metrics_parser.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    metrics_export = metrics_sub.add_parser(
+        "export",
+        help=(
+            "render a run recording (world log or legacy ledger "
+            "JSONL, sniffed) as Prometheus text exposition"
+        ),
+    )
+    metrics_export.add_argument(
+        "path", help="world log or run ledger JSONL file"
+    )
+    metrics_export.add_argument(
+        "--format",
+        choices=("prom",),
+        default="prom",
+        help="output format (default: prom)",
+    )
+    metrics_export.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write to PATH instead of stdout",
+    )
     return parser
 
 
@@ -838,6 +993,38 @@ def _make_ledger(path: str | None):
         worldlog = WorldLog.create(path)
         return RunLedger(sink=worldlog.record_event), worldlog
     return RunLedger(), None
+
+
+def _make_telemetry(
+    args: argparse.Namespace, worldlog, source: str
+):
+    """The optional :class:`TelemetryBus` behind ``--telemetry``.
+
+    ``--telemetry-interval SECONDS`` implies ``--telemetry``; either
+    flag without a ``*.worldlog`` ledger is a domain error (there is
+    nowhere to record snapshots).  Returns ``None`` when telemetry was
+    not requested.
+    """
+    interval_arg = getattr(args, "telemetry_interval", None)
+    if not getattr(args, "telemetry", False) and interval_arg is None:
+        return None
+    from repro.obs.telemetry import (
+        DEFAULT_INTERVAL,
+        TelemetryBus,
+        parse_interval,
+    )
+
+    interval = (
+        parse_interval(interval_arg, "--telemetry-interval")
+        if interval_arg is not None
+        else DEFAULT_INTERVAL
+    )
+    if worldlog is None:
+        raise ReproError(
+            "--telemetry records telemetry.snapshot world-log "
+            "records; pass --ledger PATH.worldlog to give it a log"
+        )
+    return TelemetryBus(worldlog, interval=interval, source=source)
 
 
 def _write_ledger(ledger, worldlog, path: str | None) -> None:
@@ -921,6 +1108,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         tracer = (
             LedgerTracer(ledger) if ledger is not None else NULL_TRACER
         )
+        telemetry = _make_telemetry(args, worldlog, "attack")
         spec = _resolve_protocol(args.protocol, args.n, args.t)
         outcome = attack_weak_consensus(
             spec,
@@ -929,8 +1117,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             profile=args.profile,
             tracer=tracer,
             worldlog=worldlog,
+            telemetry=telemetry,
             kernel=args.kernel,
         )
+        if telemetry is not None:
+            telemetry.close()
         print(outcome.render(profile=False))
         if outcome.profile is not None:
             _info(outcome.profile.render())
@@ -1057,10 +1248,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             ledger, worldlog = _make_ledger(args.ledger)
             target = args.ledger
+        telemetry = _make_telemetry(args, worldlog, "sweep")
         report = SweepScheduler(
             jobs=args.jobs,
             ledger=ledger,
             worldlog=worldlog,
+            telemetry=telemetry,
             progress=_resolve_progress(args),
             stall_after=args.stall_after,
         ).run(
@@ -1068,6 +1261,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             for n, t in grid
         )
         report.raise_errors()
+        if telemetry is not None:
+            telemetry.close()
         points = report.values()
         print(render_sweep(points))
         if args.timings:
@@ -1081,18 +1276,16 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "log":
         return _dispatch_log(args)
     if args.command == "trace":
+        events = _read_recording_events(args.path)
+        if args.format == "chrome":
+            import json
+
+            from repro.obs.export import chrome_trace
+
+            print(json.dumps(chrome_trace(list(events))))
+            return 0
         from repro.obs.report import render_trace
-        from repro.worldlog.store import is_worldlog
 
-        if is_worldlog(args.path):
-            from repro.worldlog.store import read_worldlog
-            from repro.worldlog.views import ledger_events
-
-            events = ledger_events(read_worldlog(args.path))
-        else:
-            from repro.obs.ledger import read_events
-
-            events = read_events(args.path)
         print(render_trace(events, slowest=args.slowest))
         return 0
     if args.command == "report":
@@ -1140,13 +1333,45 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_jobs(args)
     if args.command == "watch":
         return _dispatch_watch(args)
+    if args.command == "status":
+        return _dispatch_status(args)
+    if args.command == "top":
+        return _dispatch_top(args)
+    if args.command == "metrics":
+        return _dispatch_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _read_recording_events(path: str):
+    """Ledger events from a run recording: world log or legacy JSONL,
+    sniffed the same way ``repro trace`` always has."""
+    from repro.worldlog.store import is_worldlog
+
+    if is_worldlog(path):
+        from repro.worldlog.store import read_worldlog
+        from repro.worldlog.views import ledger_events
+
+        return ledger_events(read_worldlog(path))
+    from repro.obs.ledger import read_events
+
+    return read_events(path)
 
 
 def _dispatch_serve(args: argparse.Namespace) -> int:
     from repro.service.quota import QuotaPolicy
     from repro.service.server import JobServer
 
+    interval = None
+    if args.telemetry or args.telemetry_interval is not None:
+        from repro.obs.telemetry import DEFAULT_INTERVAL, parse_interval
+
+        interval = (
+            parse_interval(
+                args.telemetry_interval, "--telemetry-interval"
+            )
+            if args.telemetry_interval is not None
+            else DEFAULT_INTERVAL
+        )
     server = JobServer(
         log_path=args.log,
         socket_path=args.socket,
@@ -1156,6 +1381,7 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
             rate=args.rate,
             burst=args.burst,
         ),
+        telemetry_interval=interval,
     )
     _info(
         f"attack service listening on {args.socket} "
@@ -1314,6 +1540,197 @@ def _record_line(record) -> str:
     return f"{record.tick:>6}  {record.kind:<13} {cell:<24} {name}"
 
 
+def _render_status(body: dict) -> str:
+    """The ``repro status`` / ``repro top`` frame for one status fold."""
+    workers = body.get("workers", {})
+    queue = body.get("queue", {})
+    jobs = body.get("jobs", {})
+    lines = []
+    if body.get("run_id"):
+        lines.append(
+            f"server run {body['run_id']} "
+            f"({body.get('schema', '?')})"
+        )
+    utilization = workers.get("utilization", 0.0) * 100
+    lines.append(
+        f"workers   {workers.get('busy', 0)}"
+        f"/{workers.get('total', 0)} busy ({utilization:.0f}%)"
+    )
+    depths = ", ".join(
+        f"p{priority}: {count}"
+        for priority, count in queue.get("by_priority", {}).items()
+    )
+    lines.append(
+        f"queue     {queue.get('depth', 0)} queued"
+        + (f" ({depths})" if depths else "")
+    )
+    lines.append(
+        f"jobs      {jobs.get('queued', 0)} queued, "
+        f"{len(jobs.get('running', []))} running, "
+        f"{jobs.get('completed', 0)} completed"
+    )
+    for tenant, entry in sorted(body.get("tenants", {}).items()):
+        occupancy = entry.get("quota_occupancy", 0.0) * 100
+        lines.append(
+            f"tenant    {tenant}: {entry.get('pending', 0)}"
+            f"/{entry.get('max_pending', '?')} pending "
+            f"({occupancy:.0f}% quota), "
+            f"{entry.get('rate_tokens', 0.0):.1f}"
+            f"/{entry.get('burst', 0.0):.0f} rate tokens"
+        )
+    for job in jobs.get("running", []):
+        lines.append(
+            f"running   {job['key']} {job['tenant']} "
+            f"p{job['priority']} {job['seconds']:.1f}s"
+        )
+    return "\n".join(lines)
+
+
+class _LogTopFold:
+    """The ``repro top --log`` accumulator: a growing log's live view.
+
+    Pure fold over whatever :class:`~repro.worldlog.store.LogTailer`
+    has seen so far — record and kind counts, the latest record, and
+    the latest ``telemetry.snapshot`` payload when the writer samples
+    telemetry.
+    """
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.kinds: dict[str, int] = {}
+        self.telemetry: dict | None = None
+        self.last = None
+
+    def absorb(self, record) -> None:
+        self.records += 1
+        self.kinds[record.kind] = self.kinds.get(record.kind, 0) + 1
+        if record.kind == "telemetry.snapshot" and isinstance(
+            record.payload, dict
+        ):
+            self.telemetry = record.payload
+        self.last = record
+
+    def render(self, path: str) -> str:
+        lines = [f"world log {path}: {self.records} record(s)"]
+        for kind in sorted(self.kinds):
+            lines.append(f"  {kind:<18} {self.kinds[kind]}")
+        if self.last is not None:
+            lines.append(f"last: {_record_line(self.last).strip()}")
+        snapshot = self.telemetry
+        if not snapshot:
+            return "\n".join(lines)
+        lines.append(
+            f"telemetry seq {snapshot.get('seq')} "
+            f"({snapshot.get('source', '?')}, uptime "
+            f"{snapshot.get('uptime_seconds', 0.0):.1f}s)"
+        )
+        rounds = snapshot.get("rounds")
+        if rounds:
+            rate = rounds.get("rounds_per_second")
+            rate_text = f"{rate:.0f}/s" if rate else "-"
+            line = (
+                f"rounds    {rounds.get('seen', 0)} seen "
+                f"({rate_text}), {rounds.get('cum_messages', 0)} "
+                f"correct-sender messages"
+            )
+            if rounds.get("vs_floor") is not None:
+                line += f", {rounds['vs_floor']:.2f}x of t²/32 floor"
+            lines.append(line)
+        if snapshot.get("cache_hit_rate") is not None:
+            lines.append(
+                f"cache     "
+                f"{snapshot['cache_hit_rate'] * 100:.0f}% hit rate"
+            )
+        progress = snapshot.get("progress")
+        if progress:
+            lines.append(
+                f"progress  {progress.get('done', 0)}"
+                f"/{progress.get('total', 0)} cells, "
+                f"{progress.get('in_flight', 0)} in flight"
+            )
+        service = snapshot.get("service")
+        if service:
+            lines.append(_render_status(service))
+        return "\n".join(lines)
+
+
+def _dispatch_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    frame = ServiceClient(args.socket).status()
+    if args.json:
+        print(json.dumps(frame, indent=2, sort_keys=True))
+        return 0
+    print(_render_status(frame))
+    return 0
+
+
+def _dispatch_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.telemetry import parse_interval
+
+    interval = parse_interval(args.interval)
+    if args.socket:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.socket)
+
+        def frame() -> str:
+            return _render_status(client.status())
+
+    else:
+        from repro.worldlog.store import LogTailer
+
+        tailer = LogTailer(args.log)
+        fold = _LogTopFold()
+
+        def frame() -> str:
+            for record in tailer.poll():
+                fold.absorb(record)
+            return fold.render(args.log)
+
+    # The dashboard is ephemeral diagnostics, so it follows the
+    # --progress stderr discipline: stdout stays clean for results.
+    stream = sys.stderr
+    live = stream.isatty() and not args.once
+    try:
+        while True:
+            text = frame()
+            if live:
+                stream.write(f"\x1b[2J\x1b[H{text}\n")
+            else:
+                stream.write(f"{text}\n")
+            stream.flush()
+            if args.once:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _dispatch_metrics(args: argparse.Namespace) -> int:
+    if args.metrics_command != "export":
+        raise AssertionError(
+            f"unhandled metrics command {args.metrics_command!r}"
+        )
+    from repro.obs.export import registry_from_events, render_prometheus
+
+    events = _read_recording_events(args.path)
+    document = render_prometheus(
+        registry_from_events(events).snapshot()
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(document)
+        _info(f"metrics exposition written to {args.out}")
+    else:
+        sys.stdout.write(document)
+    return 0
+
+
 def _dispatch_log_replay(args: argparse.Namespace) -> int:
     """``repro log replay``: one-shot ``--at TICK`` or stdin-driven."""
     from repro.worldlog.replay import ReplayCursor, render_state
@@ -1369,6 +1786,35 @@ def _dispatch_log_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_log_tail(args: argparse.Namespace) -> int:
+    """``repro log tail``: stream complete records as they land."""
+    import time
+
+    from repro.obs.telemetry import parse_interval
+    from repro.worldlog.store import LogTailer
+
+    interval = parse_interval(args.interval)
+    if not args.follow:
+        # One shot: a missing file is an environment error, not an
+        # empty log (with --follow it may simply not exist yet).
+        with open(args.path, "rb"):
+            pass
+    tailer = LogTailer(args.path)
+    polls = 0
+    try:
+        while True:
+            for record in tailer.poll():
+                print(_record_line(record), flush=True)
+            polls += 1
+            if not args.follow:
+                return 0
+            if args.max_polls is not None and polls >= args.max_polls:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _dispatch_log(args: argparse.Namespace) -> int:
     from repro.worldlog.store import read_worldlog
 
@@ -1389,6 +1835,8 @@ def _dispatch_log(args: argparse.Namespace) -> int:
         ):
             print(_record_line(record))
         return 0
+    if args.log_command == "tail":
+        return _dispatch_log_tail(args)
     if args.log_command == "replay":
         return _dispatch_log_replay(args)
     if args.log_command == "diff":

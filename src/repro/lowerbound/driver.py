@@ -66,6 +66,7 @@ from typing import TYPE_CHECKING, Callable
 if TYPE_CHECKING:
     from repro.certify.format import Certificate
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import TelemetryBus
     from repro.worldlog.store import WorldLog
 
 from repro.errors import ModelViolation, ReproError
@@ -400,6 +401,7 @@ class LowerBoundDriver:
     certify: bool = False
     tracer: Tracer = NULL_TRACER
     worldlog: "WorldLog | None" = None
+    telemetry: "TelemetryBus | None" = None
     kernel: str = "auto"
     _use_kernel: bool = field(default=False, repr=False)
     _counts_at_start: dict | None = field(default=None, repr=False)
@@ -447,6 +449,22 @@ class LowerBoundDriver:
                 metrics=self._metrics,
             )
             self._counts_at_start = object_counts()
+        if self.telemetry is not None:
+            # Sampled telemetry rides the same observer slot.  It never
+            # forces the object engine (unlike live tracing): under the
+            # mask kernel the per-round tap sees nothing and sampling
+            # happens at execution boundaries instead.
+            if self._metrics is None:
+                from repro.obs.metrics import MetricsRegistry
+
+                self._metrics = MetricsRegistry()
+            self.telemetry.attach_metrics(self._metrics)
+            self._trace_observers = (
+                *self._trace_observers,
+                self.telemetry.round_tap(
+                    floor=weak_consensus_floor(self.spec.t)
+                ),
+            )
         if self.kernel not in ("auto", "object", "mask"):
             raise ValueError(
                 f"kernel must be 'auto', 'object' or 'mask', "
@@ -1374,6 +1392,10 @@ class LowerBoundDriver:
         ):
             self._cert_max_execution = execution
         self._max_messages = max(self._max_messages, messages)
+        if self.telemetry is not None:
+            # The kernel path produces no round events; execution
+            # boundaries are its sampling points.
+            self.telemetry.maybe_sample()
 
     def _note(self, message: str) -> None:
         self._log.append(message)
@@ -1534,6 +1556,7 @@ def attack_weak_consensus(
     certify: bool = False,
     tracer: Tracer = NULL_TRACER,
     worldlog: "WorldLog | None" = None,
+    telemetry: "TelemetryBus | None" = None,
     kernel: str = "auto",
 ) -> AttackOutcome:
     """Run the full lower-bound pipeline against ``spec``.
@@ -1564,6 +1587,11 @@ def attack_weak_consensus(
             ledger; the zero-overhead no-op by default).
         worldlog: an open :class:`~repro.worldlog.store.WorldLog` for
             in-band ``checkpoint`` and ``cert.artifact`` records.
+        telemetry: an optional :class:`~repro.obs.telemetry
+            .TelemetryBus` sampling the attack into observability-only
+            ``telemetry.snapshot`` records (a per-round tap on the
+            object engine, execution-boundary pumps on the kernel).
+            ``None`` (the default) costs nothing.
         kernel: round-engine selection — ``"auto"`` (default) runs the
             bitmask kernel whenever representable, ``"object"`` forces
             the per-message engine, ``"mask"`` requests the kernel
@@ -1582,6 +1610,7 @@ def attack_weak_consensus(
         certify=certify,
         tracer=tracer,
         worldlog=worldlog,
+        telemetry=telemetry,
         kernel=kernel,
     )
     outcome = driver.attack()

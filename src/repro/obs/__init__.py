@@ -10,7 +10,12 @@ The layer every pipeline stage emits into and every report reads from:
 * :mod:`repro.obs.metrics` — the associative registry of named
   counters, gauges and histograms;
 * :mod:`repro.obs.report` — the ``repro trace`` timeline and the
-  ``repro report --trend`` perf-trajectory log.
+  ``repro report --trend`` perf-trajectory log;
+* :mod:`repro.obs.telemetry` — the sampled telemetry bus folding live
+  metrics/progress/round accounting into observability-only
+  ``telemetry.snapshot`` world-log records;
+* :mod:`repro.obs.export` — Prometheus text exposition and Chrome
+  trace-event JSON adapters.
 
 Telemetry is wall-clock data: it never participates in outcome
 equality, and the parallel sweep backends are required to agree only on
@@ -20,6 +25,11 @@ timestamps or worker ids.
 
 from __future__ import annotations
 
+from repro.obs.export import (
+    chrome_trace,
+    registry_from_events,
+    render_prometheus,
+)
 from repro.obs.ledger import (
     EVENT_KINDS,
     LedgerEvent,
@@ -34,6 +44,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetryBus,
+    parse_interval,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -53,9 +68,15 @@ __all__ = [
     "NULL_TRACER",
     "RoundTraceObserver",
     "RunLedger",
+    "TELEMETRY_SCHEMA",
+    "TelemetryBus",
     "Tracer",
     "cell_label",
+    "chrome_trace",
     "new_run_id",
     "order_signature",
+    "parse_interval",
     "read_events",
+    "registry_from_events",
+    "render_prometheus",
 ]

@@ -1,0 +1,239 @@
+"""Export adapters: metrics and spans in formats other tools speak.
+
+Two one-way bridges out of the repository's own observability model:
+
+* **Prometheus text exposition** — a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` rendered as the
+  ``# HELP`` / ``# TYPE`` line format every Prometheus-compatible
+  scraper ingests (``repro metrics export --format prom``).  Counters
+  become ``<prefix>_<name>_total`` counters, gauges become gauges,
+  histograms become summaries (``_count`` / ``_sum``) with their
+  min/max as companion gauges.
+* **Chrome trace-event JSON** — a ledger's span tree as the
+  ``traceEvents`` array Perfetto and ``chrome://tracing`` open
+  (``repro trace --format chrome``): ``B``/``E`` duration events per
+  span, ``C`` counter samples, and ``M`` metadata naming each
+  ``(worker, cell)`` stream as a process/thread pair.
+
+Both adapters are pure functions of data the log already holds —
+:func:`registry_from_events` refolds a recorded event stream into a
+registry first, so a finished world log exports exactly what a live
+scrape would have shown.
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("cache.hits").add(3)
+>>> print(render_prometheus(registry.snapshot()).rstrip())
+# HELP repro_cache_hits_total counter cache.hits
+# TYPE repro_cache_hits_total counter
+repro_cache_hits_total 3
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.obs.ledger import LedgerEvent
+from repro.obs.metrics import MetricsRegistry
+
+
+def registry_from_events(
+    events: Iterable[LedgerEvent],
+) -> MetricsRegistry:
+    """Refold a recorded event stream into a metrics registry.
+
+    ``counter`` events sum into counters, ``gauge`` events set gauges
+    (last write wins, matching live semantics), and each completed
+    ``span-start``/``span-end`` pair records the span's duration into
+    a ``span.<name>_seconds`` histogram — per ``(worker, cell)``
+    stream, since timestamps only compare within one stream.
+    """
+    registry = MetricsRegistry()
+    open_spans: dict[tuple[int, str | None], list[LedgerEvent]] = {}
+    for event in events:
+        if event.kind == "counter":
+            value = event.value if event.value is not None else 1
+            registry.counter(event.name).add(value)
+        elif event.kind == "gauge":
+            if event.value is not None:
+                registry.gauge(event.name).set(event.value)
+        elif event.kind == "span-start":
+            stream = (event.worker_id, event.cell_id)
+            open_spans.setdefault(stream, []).append(event)
+        elif event.kind == "span-end":
+            stream = (event.worker_id, event.cell_id)
+            stack = open_spans.get(stream, [])
+            while stack:
+                start = stack.pop()
+                if start.name == event.name:
+                    registry.histogram(
+                        f"span.{event.name}_seconds"
+                    ).record(event.ts - start.ts)
+                    break
+    return registry
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name for one registry instrument.
+
+    >>> metric_name("engine.round_seconds")
+    'repro_engine_round_seconds'
+    """
+    sanitized = "".join(
+        char if char.isalnum() or char == "_" else "_"
+        for char in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_lines(
+    snapshot: dict[str, Any], prefix: str = "repro"
+) -> list[str]:
+    """One Prometheus exposition line list from a metrics snapshot.
+
+    ``snapshot`` is the JSON shape
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` produces (the
+    same shape a ``telemetry.snapshot`` record carries under
+    ``metrics``), so live registries, world logs and telemetry records
+    all export through the one renderer.
+    """
+    lines: list[str] = []
+    for name, total in snapshot.get("counters", {}).items():
+        metric = metric_name(name, prefix) + "_total"
+        lines.append(f"# HELP {metric} counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(total)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = metric_name(name, prefix)
+        lines.append(f"# HELP {metric} gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = metric_name(name, prefix)
+        lines.append(f"# HELP {metric} summary {name}")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(
+            f"{metric}_count {_format_value(summary.get('count'))}"
+        )
+        lines.append(
+            f"{metric}_sum {_format_value(summary.get('total'))}"
+        )
+        for stat in ("min", "max"):
+            if summary.get(stat) is not None:
+                stat_metric = f"{metric}_{stat}"
+                lines.append(f"# HELP {stat_metric} gauge {name} {stat}")
+                lines.append(f"# TYPE {stat_metric} gauge")
+                lines.append(
+                    f"{stat_metric} {_format_value(summary[stat])}"
+                )
+    return lines
+
+
+def render_prometheus(
+    snapshot: dict[str, Any], prefix: str = "repro"
+) -> str:
+    """The full exposition document (trailing newline included)."""
+    return "\n".join(prometheus_lines(snapshot, prefix)) + "\n"
+
+
+def chrome_trace(
+    events: Sequence[LedgerEvent],
+) -> dict[str, Any]:
+    """A ledger event stream as Chrome trace-event JSON.
+
+    Spans become ``B``/``E`` duration events on one track per
+    ``(worker, cell)`` stream — the worker is the *process*, the cell
+    the *thread*, named via ``M`` metadata events so Perfetto labels
+    the tracks.  Counter events become ``C`` samples on the same
+    track.  Timestamps are the ledger's monotonic seconds scaled to
+    the format's microseconds; they are meaningful per process, which
+    is exactly the trace-event contract.
+    """
+    trace_events: list[dict[str, Any]] = []
+    threads: dict[tuple[int, str | None], int] = {}
+    processes: set[int] = set()
+
+    def track(event: LedgerEvent) -> tuple[int, int]:
+        pid = event.worker_id
+        if pid not in processes:
+            processes.add(pid)
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"worker {pid}"},
+                }
+            )
+        stream = (pid, event.cell_id)
+        if stream not in threads:
+            tid = sum(1 for key in threads if key[0] == pid) + 1
+            threads[stream] = tid
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": event.cell_id or "main"},
+                }
+            )
+        return pid, threads[stream]
+
+    for event in events:
+        if event.kind not in (
+            "span-start",
+            "span-end",
+            "counter",
+            "gauge",
+        ):
+            continue
+        pid, tid = track(event)
+        ts = event.ts * 1e6
+        if event.kind == "span-start":
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "ph": "B",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": dict(event.attrs),
+                }
+            )
+        elif event.kind == "span-end":
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "ph": "E",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+        elif (
+            event.value is not None
+            and isinstance(event.value, (int, float))
+        ):
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {event.name: event.value},
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

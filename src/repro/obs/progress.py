@@ -142,6 +142,34 @@ class SweepProgress:
             line = self._line()
         self._emit(line, final=True)
 
+    def accounting(self) -> dict[str, object]:
+        """A JSON-safe snapshot of the tracker's live accounting.
+
+        The telemetry bus folds this into ``telemetry.snapshot``
+        records; everything here is wall-clock telemetry, so it never
+        feeds a derived view.
+        """
+        with self._lock:
+            now = self._clock()
+            in_flight = len(self._started)
+            done = self._done
+            eta = None
+            if done and done < self.total:
+                eta = (now - self._begin) / done * (self.total - done)
+            quiet = now - self._last_done_at
+            return {
+                "label": self.label,
+                "done": done,
+                "total": self.total,
+                "in_flight": in_flight,
+                "elapsed_seconds": now - self._begin,
+                "eta_seconds": eta,
+                "stalled": (
+                    done < self.total and quiet > self.stall_after
+                ),
+                "heartbeats": sum(self.heartbeats.values()),
+            }
+
     # -- rendering -----------------------------------------------------
 
     def _line(self) -> str:
@@ -172,9 +200,11 @@ class SweepProgress:
             return
         interactive = getattr(self._stream, "isatty", lambda: False)()
         if interactive:
-            # Overwrite in place; pad so a shorter line fully covers the
-            # previous one.
-            self._stream.write(f"\r{line:<79}")
+            # Erase the whole previous line (CSI 2K) instead of padding
+            # it over: a fixed-width pad wraps on terminals narrower
+            # than the pad and the wrapped fragment was never cleared,
+            # leaving stale heartbeat text above the gather summary.
+            self._stream.write(f"\r\x1b[2K{line}")
             if final:
                 self._stream.write("\n")
         else:

@@ -98,6 +98,12 @@ class ServiceClient:
         """Server identity and queue depths."""
         return self.request({"op": "ping"})
 
+    def status(self) -> dict[str, Any]:
+        """The live status fold: queue depth by priority, per-tenant
+        pending/quota/token-bucket occupancy, worker-pool utilization
+        and per-job progress (what ``repro status`` prints)."""
+        return self.request({"op": "status"})
+
     def submit(
         self,
         job: dict[str, Any],

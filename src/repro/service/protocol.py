@@ -49,11 +49,15 @@ from repro.sim.serialization import canonical_json
 SERVICE_SCHEMA = "repro.service/v1"
 """The protocol version announced by ``ping`` responses."""
 
-OPS = ("ping", "submit", "jobs", "watch", "shutdown")
+OPS = ("ping", "status", "submit", "jobs", "watch", "shutdown")
 """The request vocabulary, in documentation order.
 
 * ``ping`` — liveness + server identity (schema tag, run id, backend,
   worker count, queue depth).
+* ``status`` — the full live-state fold: queue depth by priority,
+  per-tenant pending/quota/token-bucket occupancy, worker-pool
+  utilization and per-job progress (what ``repro status`` and
+  ``repro top`` render).
 * ``submit`` — enqueue one job (``tenant``, ``priority``, ``job`` spec;
   optional ``wait`` keeps the connection open until the terminal
   frame).

@@ -97,6 +97,26 @@ class JobQueue:
         entry.state = "running"
         return entry
 
+    def depth_by_priority(self) -> dict[int, int]:
+        """Queued-entry counts keyed by priority, highest first.
+
+        A read-only status fold over the live heap; the JSON encoder
+        stringifies the integer keys on the wire.
+
+        >>> queue = JobQueue()
+        >>> for priority in (0, 5, 0):
+        ...     queue.push(JobEntry(key=f"k{priority}", tenant="t",
+        ...                         priority=priority, job={}))
+        >>> queue.depth_by_priority()
+        {5: 1, 0: 2}
+        """
+        depths: dict[int, int] = {}
+        for negated, _, _ in self._heap:
+            depths[-negated] = depths.get(-negated, 0) + 1
+        return dict(
+            sorted(depths.items(), key=lambda item: -item[0])
+        )
+
 
 def recover_jobs(
     records: Iterable[Record],

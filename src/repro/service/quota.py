@@ -97,6 +97,25 @@ class QuotaPolicy:
         self._tokens[tenant] = tokens
         return tokens
 
+    def known_tenants(self) -> tuple[str, ...]:
+        """Tenants the token bucket has seen, sorted (status reporting)."""
+        return tuple(sorted(self._tokens))
+
+    def occupancy(self, tenant: str) -> dict[str, float]:
+        """The tenant's current token-bucket state, *without* spending.
+
+        Refills to now (so an idle tenant reads full) but charges
+        nothing — safe to call from a status fold at any rate.
+
+        >>> policy = QuotaPolicy(rate=1.0, burst=4, clock=lambda: 0.0)
+        >>> policy.occupancy("alice")
+        {'tokens': 4.0, 'burst': 4.0}
+        """
+        return {
+            "tokens": self._refill(tenant),
+            "burst": float(self.burst),
+        }
+
     def admit(self, tenant: str, pending: int) -> QuotaDecision:
         """Decide one submission; spends a rate token iff allowed.
 

@@ -15,6 +15,10 @@ that matters in the world log:
 * ``job.rejected`` — a quota/rate rejection at admission time, recorded
   for post-hoc per-tenant accounting (``repro log stats``).  It enters
   no queue and is invisible to recovery and the jobs manifest.
+* ``telemetry.snapshot`` — optional (``telemetry_interval``): the live
+  status fold sampled on an interval, same observability-only contract
+  as ``job.rejected`` — no recovery, no manifest, scrubbed by the
+  semantic differ.
 
 Crash-resume follows the sweep scheduler's contract: the log is the
 queue.  ``JobServer`` on an existing log resumes it
@@ -54,6 +58,7 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.obs.ledger import job_label
+from repro.obs.telemetry import TelemetryBus
 from repro.parallel.jobs import execute_job
 from repro.service.protocol import (
     SERVICE_SCHEMA,
@@ -86,6 +91,12 @@ class JobServer:
         jobs: worker parallelism; ``1`` keeps execution in-process.
         quota: the per-tenant admission policy.
         run_id: correlation id for a fresh log (random when omitted).
+        telemetry_interval: when set, a :class:`~repro.obs.telemetry
+            .TelemetryBus` samples the server's live status fold into
+            ``telemetry.snapshot`` records every this-many seconds.
+            Observability only: the records bypass the watcher publish
+            path (they belong to no job key) and are invisible to
+            recovery, the manifest and the semantic differ.
     """
 
     def __init__(
@@ -95,11 +106,13 @@ class JobServer:
         jobs: int = 1,
         quota: QuotaPolicy | None = None,
         run_id: str | None = None,
+        telemetry_interval: float | None = None,
     ) -> None:
         self.log_path = log_path
         self.socket_path = socket_path
         self.jobs = max(1, jobs)
         self.quota = QuotaPolicy() if quota is None else quota
+        self.telemetry_interval = telemetry_interval
         self._run_id = run_id
         self.ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -110,7 +123,9 @@ class JobServer:
         self._entries: dict[str, JobEntry] = {}
         self._terminals: dict[str, Record] = {}
         self._pending: dict[str, int] = {}
+        self._running: dict[str, dict[str, Any]] = {}
         self._watchers: dict[str, list[asyncio.Queue]] = {}
+        self._telemetry: "TelemetryBus | None" = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -159,6 +174,16 @@ class JobServer:
         for entry in pending:
             self._admit_entry(entry)
 
+        sampler: asyncio.Future | None = None
+        if self.telemetry_interval is not None:
+            self._telemetry = TelemetryBus(
+                self._log,
+                interval=self.telemetry_interval,
+                source="serve",
+            )
+            self._telemetry.add_source("service", self._status_body)
+            sampler = asyncio.ensure_future(self._telemetry_loop())
+
         if self.jobs == 1:
             executor: concurrent.futures.Executor = (
                 concurrent.futures.ThreadPoolExecutor(max_workers=1)
@@ -184,7 +209,13 @@ class JobServer:
             server.close()
             await server.wait_closed()
             await asyncio.gather(*workers, return_exceptions=True)
+            if sampler is not None:
+                await asyncio.gather(sampler, return_exceptions=True)
             executor.shutdown(wait=True)
+            if self._telemetry is not None:
+                # The end-of-run picture; still on the loop thread, so
+                # the append races nothing.
+                self._telemetry.close()
             self._log.close()
             with contextlib.suppress(OSError):
                 os.unlink(self.socket_path)
@@ -226,6 +257,23 @@ class JobServer:
         job = decode_job(entry.job)
         return job_label(job.key, entry.key)
 
+    async def _telemetry_loop(self) -> None:
+        """Sample the status fold every interval until shutdown.
+
+        Runs on the event-loop thread — the only thread that may touch
+        the world log — so samples serialize naturally with job
+        records.
+        """
+        assert self._stopping is not None and self._telemetry is not None
+        while True:
+            try:
+                await asyncio.wait_for(
+                    self._stopping.wait(), self._telemetry.interval
+                )
+                return
+            except asyncio.TimeoutError:
+                self._telemetry.sample()
+
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
@@ -253,6 +301,11 @@ class JobServer:
         self._append("job.start", {"key": entry.key}, cell_id)
         job = decode_job(entry.job)
         begin = time.perf_counter()
+        self._running[entry.key] = {
+            "tenant": entry.tenant,
+            "priority": entry.priority,
+            "began": begin,
+        }
         try:
             result = await self._loop.run_in_executor(
                 executor, execute_job, job
@@ -278,6 +331,7 @@ class JobServer:
                 },
                 cell_id,
             )
+        self._running.pop(entry.key, None)
         self._finish_entry(entry, record)
 
     # ------------------------------------------------------------------
@@ -331,6 +385,67 @@ class JobServer:
                 "queued": len(self._queue),
                 "pending": len(self._entries),
                 "completed": len(self._terminals),
+            },
+        )
+
+    def _status_body(self) -> dict[str, Any]:
+        """The live-state fold ``status`` answers and telemetry samples.
+
+        Event-loop thread only (it reads queue, quota and running-job
+        state).  Everything here is a *view* — nothing is charged or
+        mutated beyond the quota clock refill.
+        """
+        now = time.perf_counter()
+        tenants: dict[str, Any] = {}
+        names = set(self._pending) | set(self.quota.known_tenants())
+        for tenant in sorted(names):
+            pending = self._pending.get(tenant, 0)
+            bucket = self.quota.occupancy(tenant)
+            tenants[tenant] = {
+                "pending": pending,
+                "max_pending": self.quota.max_pending,
+                "quota_occupancy": pending / self.quota.max_pending,
+                "rate_tokens": bucket["tokens"],
+                "burst": bucket["burst"],
+            }
+        running = [
+            {
+                "key": key,
+                "tenant": info["tenant"],
+                "priority": info["priority"],
+                "seconds": now - info["began"],
+            }
+            for key, info in sorted(self._running.items())
+        ]
+        return {
+            "workers": {
+                "total": self.jobs,
+                "busy": len(self._running),
+                "utilization": len(self._running) / self.jobs,
+            },
+            "queue": {
+                "depth": len(self._queue),
+                "by_priority": self._queue.depth_by_priority(),
+            },
+            "tenants": tenants,
+            "jobs": {
+                "queued": len(self._queue),
+                "running": running,
+                "completed": len(self._terminals),
+            },
+        }
+
+    async def _op_status(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._log is not None
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "schema": SERVICE_SCHEMA,
+                "run_id": self._log.run_id,
+                **self._status_body(),
             },
         )
 

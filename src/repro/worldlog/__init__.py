@@ -28,6 +28,7 @@ from repro.worldlog.replay import (
     select_records,
 )
 from repro.worldlog.store import (
+    LogTailer,
     WorldLog,
     is_worldlog,
     read_records,
@@ -39,6 +40,7 @@ __all__ = [
     "KINDS",
     "WORLDLOG_SCHEMA",
     "LogDiff",
+    "LogTailer",
     "Record",
     "ReplayCursor",
     "ReplayState",

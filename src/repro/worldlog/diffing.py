@@ -19,6 +19,12 @@ invisible by construction.  Before aligning, each log is normalized:
   before the *last* marker are dropped with them — exactly the derived
   ledger view's rule, so a resumed log (which re-splices all events
   after a fresh marker) aligns with its uninterrupted twin;
+* observability-only records (:data:`OBSERVABILITY_KINDS`:
+  ``job.rejected`` admission refusals and sampled
+  ``telemetry.snapshot`` records) are dropped entirely — they land at
+  timing- and load-dependent positions, so a telemetry-on run must
+  align with its telemetry-off twin and a rate-limited submission
+  burst must align with a patient one;
 * payloads are scrubbed of wall-clock and identity fields
   (:data:`DROP_KEYS`, applied recursively) and of the values of
   wall-clock metrics (:data:`WALL_CLOCK_METRICS`).
@@ -69,6 +75,18 @@ measured values and min/max/total attributes do not.
 
 _TIMING_ATTRS = frozenset({"min", "max", "total", "mean"})
 
+OBSERVABILITY_KINDS = frozenset({"job.rejected", "telemetry.snapshot"})
+"""Record kinds that are pure observability and never count.
+
+Both land at positions driven by wall clock and load — a quota
+refusal depends on how fast a tenant hammered the socket, a telemetry
+snapshot on where the sampling interval elapsed — so the differ drops
+them the way it drops ``gather.start`` markers.  The contract is the
+flip side of these records being ignored by ``recover_jobs``, the jobs
+manifest and sweep resume: they may appear anywhere, or nowhere,
+without changing what run the log describes.
+"""
+
 
 def scrub_payload(payload: Any) -> Any:
     """The payload with every wall-clock / identity field removed."""
@@ -99,7 +117,8 @@ def comparable_records(records: Sequence[Record]) -> list[Record]:
     Applies the derived ledger view's crash-safety rule to the diff:
     only ``ledger.event`` records after the last ``gather.start``
     marker count, and the markers themselves (one per gather *attempt*,
-    so a resumed log has more) are dropped.
+    so a resumed log has more) are dropped.  Observability-only
+    records (:data:`OBSERVABILITY_KINDS`) are dropped with them.
     """
     last_gather = -1
     for index, record in enumerate(records):
@@ -109,6 +128,7 @@ def comparable_records(records: Sequence[Record]) -> list[Record]:
         record
         for index, record in enumerate(records)
         if record.kind != "gather.start"
+        and record.kind not in OBSERVABILITY_KINDS
         and not (record.kind == "ledger.event" and index < last_gather)
     ]
 

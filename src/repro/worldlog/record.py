@@ -56,6 +56,7 @@ KINDS = (
     "job.result",
     "job.error",
     "job.rejected",
+    "telemetry.snapshot",
 )
 """The typed record vocabulary, in documentation order.
 
@@ -89,6 +90,13 @@ KINDS = (
   stats`` folds these into per-tenant rejection counts): a rejected
   submission enters no queue, charges no quota, and is ignored by the
   recovery fold and the jobs manifest.
+* ``telemetry.snapshot`` — one sampled :class:`~repro.obs.telemetry
+  .TelemetryBus` snapshot: the live metrics registry, sweep-progress
+  accounting and round-tap rates folded into a single record.  Pure
+  observability like ``job.rejected``: ignored by the recovery fold,
+  the jobs manifest and sweep resume, and dropped by the semantic
+  differ (:func:`~repro.worldlog.diffing.comparable_records`), so runs
+  with and without telemetry stay semantically identical.
 """
 
 

@@ -30,6 +30,7 @@ derive at that prefix would have seen.
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -43,7 +44,7 @@ SNAPSHOT_EVERY = 256
 
 
 def select_records(
-    records: Sequence[Record],
+    records: Iterable[Record],
     kinds: Iterable[str] | None = None,
     cells: Iterable[str] | None = None,
     runs: Iterable[str] | None = None,
@@ -56,20 +57,28 @@ def select_records(
     before ``tail`` keeps the last *N* survivors — so
     ``--kind ledger.event --tail 5`` means "the last five events", not
     "events among the last five records".
+
+    Streams: with ``tail`` set, survivors flow through a bounded
+    ``collections.deque`` instead of being materialized, so a
+    ``--tail 5`` over a million-record log holds five records, not a
+    million (``tests/worldlog/test_replay.py`` pins that with a lazy
+    record source).
     """
     kind_set = set(kinds) if kinds is not None else None
     cell_set = set(cells) if cells is not None else None
     run_set = set(runs) if runs is not None else None
-    selected = [
+    selected = (
         record
         for record in records
         if (kind_set is None or record.kind in kind_set)
         and (cell_set is None or record.cell_id in cell_set)
         and (run_set is None or record.run_id in run_set)
-    ]
+    )
     if tail is not None and tail >= 0:
-        selected = selected[len(selected) - tail :] if tail else []
-    return selected
+        if tail == 0:
+            return []
+        return list(deque(selected, maxlen=tail))
+    return list(selected)
 
 
 @dataclass
@@ -103,6 +112,10 @@ class ReplayState:
     # artifact bookkeeping (whole prefix)
     certificates: list[str] = field(default_factory=list)
     checkpoints: int = 0
+
+    # observability bookkeeping (whole prefix; never feeds semantics)
+    telemetry_snapshots: int = 0
+    last_telemetry: dict[str, Any] | None = None
 
     # event-derived state (after the last gather.start marker)
     gathers: int = 0
@@ -161,6 +174,12 @@ class ReplayState:
             },
             certificates=list(self.certificates),
             checkpoints=self.checkpoints,
+            telemetry_snapshots=self.telemetry_snapshots,
+            last_telemetry=(
+                dict(self.last_telemetry)
+                if self.last_telemetry is not None
+                else None
+            ),
             gathers=self.gathers,
             events=list(self.events),
             span_stacks={
@@ -247,6 +266,14 @@ class ReplayState:
             if record.cell_id is not None:
                 # A rejection opens no cell: it never goes terminal.
                 self.cells_terminal.add(record.cell_id)
+        elif kind == "telemetry.snapshot":
+            # Observability only: remember the latest sample, touch
+            # nothing semantic (a telemetry-on prefix must replay to
+            # the same state as its telemetry-off twin, modulo these
+            # two fields).
+            self.telemetry_snapshots += 1
+            if isinstance(payload, dict):
+                self.last_telemetry = payload
 
     def _apply_event(self, payload: dict[str, Any]) -> None:
         self.events.append(payload)
@@ -437,6 +464,13 @@ def render_state(state: ReplayState, total: int | None = None) -> str:
         lines.append("certificates: " + ", ".join(state.certificates))
     if state.checkpoints:
         lines.append(f"checkpoints: {state.checkpoints}")
+    if state.telemetry_snapshots:
+        last = state.last_telemetry or {}
+        seq = last.get("seq")
+        lines.append(
+            f"telemetry: {state.telemetry_snapshots} snapshot(s)"
+            + (f", last seq {seq}" if seq is not None else "")
+        )
     return "\n".join(lines)
 
 

@@ -213,6 +213,85 @@ def read_worldlog(path: str) -> list[Record]:
     return records
 
 
+class LogTailer:
+    """Incremental, torn-tail-safe reader of a *growing* world log.
+
+    The follow-mode primitive behind ``repro log tail --follow`` and
+    the log-backed ``repro top``: each :meth:`poll` reads only the
+    bytes appended since the last one and yields the newly *complete*
+    records.  The write-through appender's crash contract carries
+    over — a partial final line (no ``\\n`` yet) is buffered, not
+    parsed, so a record mid-write is simply "not there yet" and is
+    yielded whole on a later poll.  A malformed **complete** line is
+    corruption and raises the uniform artifact diagnostic, exactly
+    like :func:`read_records`.
+
+    Truncation-aware: :meth:`WorldLog.resume` rewrites the file to
+    drop a torn tail, which can shrink it below our read offset.  A
+    shrink resets the tailer to re-read from the start, skipping the
+    records it already emitted by count — followers survive a
+    crash-resume of the writer without duplicating records.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._offset = 0
+        self._buffer = b""
+        self._emitted = 0
+        self._line_number = 0
+
+    def poll(self) -> list[Record]:
+        """The records completed since the last poll (maybe empty).
+
+        Raises:
+            ArtifactError: on a malformed complete line (CLI exit 2).
+            OSError: if the file cannot be read.
+        """
+        try:
+            size = os.stat(self.path).st_size
+        except FileNotFoundError:
+            return []
+        if size < self._offset:
+            # The writer rewrote the file (resume truncating a torn
+            # tail): start over, but skip what we already emitted.
+            self._offset = 0
+            self._buffer = b""
+            self._line_number = 0
+            skip = self._emitted
+        else:
+            skip = 0
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        self._offset += len(chunk)
+        self._buffer += chunk
+        records: list[Record] = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                break
+            line = self._buffer[:newline].decode("utf-8").strip()
+            self._buffer = self._buffer[newline + 1 :]
+            self._line_number += 1
+            if not line:
+                continue
+            try:
+                record = Record.from_json(line)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise artifact_error(
+                    self.path,
+                    "world-log record",
+                    exc,
+                    line=self._line_number,
+                ) from exc
+            if skip > 0:
+                skip -= 1
+                continue
+            records.append(record)
+            self._emitted += 1
+        return records
+
+
 def is_worldlog(path: str) -> bool:
     """Whether ``path`` exists and opens with a world-log header.
 

@@ -112,6 +112,98 @@ class TestStatusLine:
         assert "\r" not in stream.getvalue()
 
 
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestTtyLineClearing:
+    """The narrow-terminal fix: erase the line, never pad over it.
+
+    Padding to a fixed width wraps on terminals narrower than the pad
+    and the wrapped fragment is never cleared — a stale heartbeat line
+    was left above the final gather summary.  The TTY rewrite must use
+    CSI 2K (erase whole line) after the carriage return instead.
+    """
+
+    def test_tty_rewrites_erase_the_previous_line(self):
+        stream = FakeTty()
+        progress, _ = _tracker(2, stream=stream)
+        progress.start("a")
+        progress.note_done("a")
+        progress.note_done("b")
+        chunks = stream.getvalue().split("\r")
+        # Every rewrite starts with the erase-line control, and no
+        # rewrite relies on trailing-space padding.
+        assert chunks[0] == ""
+        for chunk in chunks[1:]:
+            assert chunk.startswith("\x1b[2K")
+            assert not chunk.endswith(" ")
+
+    def test_close_releases_the_terminal_with_a_newline(self):
+        stream = FakeTty()
+        progress, _ = _tracker(1, stream=stream)
+        progress.start("a")
+        progress.note_done("a")
+        progress.close()
+        assert stream.getvalue().endswith("\n")
+        # Exactly one newline: the final release, nothing mid-stream.
+        assert stream.getvalue().count("\n") == 1
+
+    def test_non_tty_output_is_pinned_byte_exactly(self):
+        # The non-TTY path (CI logs, piped stderr) is a stable contract:
+        # one full plain-text line per event, no control characters.
+        stream = io.StringIO()
+        progress, clock = _tracker(2, stream=stream)
+        progress.start("a")
+        clock.advance(5.0)
+        progress.note_done("a")
+        clock.advance(5.0)
+        progress.note_done("b")
+        progress.close()
+        assert stream.getvalue() == (
+            "sweep: 1/2 cells, elapsed 5s, eta 5s\n"
+            "sweep: 2/2 cells, elapsed 10s\n"
+            "sweep: 2/2 cells, elapsed 10s\n"
+        )
+
+
+class TestAccounting:
+    def test_snapshot_shape_and_values(self):
+        progress, clock = _tracker(4)
+        progress.start("a")
+        progress.start("b")
+        progress.tick()
+        clock.advance(10.0)
+        progress.note_done("a")
+        snapshot = progress.accounting()
+        assert snapshot == {
+            "label": "sweep",
+            "done": 1,
+            "total": 4,
+            "in_flight": 1,
+            "elapsed_seconds": 10.0,
+            "eta_seconds": 30.0,
+            "stalled": False,
+            "heartbeats": 2,
+        }
+
+    def test_stalled_flag_and_missing_eta(self):
+        progress, clock = _tracker(2, stall_after=30.0)
+        progress.start("a")
+        clock.advance(31.0)
+        snapshot = progress.accounting()
+        assert snapshot["stalled"] is True
+        assert snapshot["eta_seconds"] is None
+
+    def test_accounting_is_json_safe(self):
+        import json
+
+        progress, _ = _tracker(1)
+        progress.start("a")
+        json.dumps(progress.accounting())  # must not raise
+
+
 class TestStall:
     def test_quiet_period_raises_the_flag(self):
         stream = io.StringIO()

@@ -464,3 +464,110 @@ class TestCrashResume:
         assert response["cached"] is True
         _stop(server, thread)
         assert len(read_worldlog(log)) == ticks_before
+
+
+class TestStatus:
+    """The ``status`` RPC: the live fold behind ``repro status``/``top``."""
+
+    def test_idle_server_reports_empty_fold(self, paths):
+        sock, log = paths
+        server, thread = _start(log, sock, jobs=2)
+        client = ServiceClient(sock, timeout=30)
+        frame = client.status()
+        _stop(server, thread)
+        assert frame["ok"] is True
+        assert frame["workers"] == {
+            "total": 2, "busy": 0, "utilization": 0.0,
+        }
+        assert frame["queue"] == {"depth": 0, "by_priority": {}}
+        assert frame["tenants"] == {}
+        assert frame["jobs"] == {
+            "queued": 0, "running": [], "completed": 0,
+        }
+
+    def test_queue_tenants_and_running_jobs(self, paths):
+        sock, log = paths
+        server, thread = _start(
+            log, sock, jobs=1,
+            quota=QuotaPolicy(max_pending=4, rate=1000.0, burst=1000),
+        )
+        client = ServiceClient(sock, timeout=120)
+        # One slow blocker occupies the single worker; two classifies
+        # queue behind it at different priorities.
+        blocker = client.submit(
+            encode_job(MeasureJob("weak-consensus", 40, 36)),
+            tenant="alice",
+        )["key"]
+        client.submit(
+            encode_job(ClassifyJob("weak", 5, 1)),
+            tenant="bob", priority=0,
+        )
+        client.submit(
+            encode_job(ClassifyJob("weak", 6, 1)),
+            tenant="bob", priority=7,
+        )
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            frame = client.status()
+            if frame["workers"]["busy"] == 1:
+                break
+            time.sleep(0.02)
+        assert frame["workers"]["busy"] == 1
+        assert frame["workers"]["utilization"] == 1.0
+        assert frame["queue"]["depth"] == 2
+        # JSON stringifies int priority keys on the wire.
+        assert frame["queue"]["by_priority"] == {"7": 1, "0": 1}
+        alice = frame["tenants"]["alice"]
+        assert alice["pending"] == 1
+        assert alice["max_pending"] == 4
+        assert alice["quota_occupancy"] == 0.25
+        assert frame["tenants"]["bob"]["pending"] == 2
+        assert frame["tenants"]["bob"]["quota_occupancy"] == 0.5
+        (running,) = frame["jobs"]["running"]
+        assert running["key"] == blocker
+        assert running["tenant"] == "alice"
+        assert running["priority"] == 0
+        assert running["seconds"] >= 0
+        # Drain and confirm the fold settles.
+        keys = [blocker] + [
+            entry["key"]
+            for entry in client.jobs()["jobs"]
+            if entry["key"] != blocker
+        ]
+        _drain(client, keys)
+        settled = client.status()
+        _stop(server, thread)
+        assert settled["workers"]["busy"] == 0
+        assert settled["jobs"]["completed"] == 3
+        assert settled["queue"]["depth"] == 0
+
+    def test_serve_telemetry_is_observability_only(self, paths):
+        from repro.obs.telemetry import TELEMETRY_SCHEMA
+        from repro.service.queue import recover_jobs
+        from repro.worldlog.views import jobs_manifest
+
+        sock, log = paths
+        server, thread = _start(log, sock, telemetry_interval=0.05)
+        client = ServiceClient(sock, timeout=120)
+        key = client.submit(encode_job(ClassifyJob("weak", 5, 1)))["key"]
+        _drain(client, [key])
+        _stop(server, thread)
+
+        records = read_worldlog(log)
+        snaps = [
+            record for record in records
+            if record.kind == "telemetry.snapshot"
+        ]
+        # close() writes the end-of-run picture even if no interval
+        # elapsed, so at least one snapshot is guaranteed.
+        assert snaps
+        for snap in snaps:
+            assert snap.payload["schema"] == TELEMETRY_SCHEMA
+            assert snap.payload["source"] == "serve"
+            assert "service" in snap.payload
+        # Observability-only: recovery and the manifest never see them.
+        pending, terminals = recover_jobs(records)
+        assert pending == []
+        assert set(terminals) == {key}
+        manifest = jobs_manifest(records)
+        assert [entry["key"] for entry in manifest["jobs"]] == [key]

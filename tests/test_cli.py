@@ -816,3 +816,232 @@ class TestTimeTravelCommands:
             "percentiles",
         ):
             assert key in document
+
+
+class TestObservabilityCommands:
+    """PR 10 surface: interval validation, tail/top/status, exports."""
+
+    GOLDEN = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "worldlog",
+        "golden",
+        "run.worldlog",
+    )
+
+    def _attack_into_worldlog(self, tmp_path, *extra):
+        log_path = str(tmp_path / "run.worldlog")
+        assert (
+            main(
+                ["attack", "silent", "--n", "8", "--t", "4",
+                 "--ledger", log_path, *extra]
+            )
+            == 0
+        )
+        return log_path
+
+    # ------------------------------------------------------------------
+    # uniform interval validation (exit 1, one-line diagnostic)
+    # ------------------------------------------------------------------
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["log", "tail", "x.worldlog", "--interval", "0"],
+            ["top", "--log", "x.worldlog", "--interval", "-1"],
+            ["top", "--log", "x.worldlog", "--interval", "abc"],
+        ],
+    )
+    def test_nonpositive_intervals_are_domain_errors(
+        self, argv, capsys
+    ):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error: --interval expects a positive number" in err
+
+    def test_telemetry_interval_shares_the_diagnostic(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["attack", "silent", "--n", "8", "--t", "4",
+             "--ledger", str(tmp_path / "r.worldlog"),
+             "--telemetry-interval", "abc"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert (
+            "error: --telemetry-interval expects a positive number"
+            in err
+        )
+
+    def test_telemetry_without_a_worldlog_ledger_is_refused(
+        self, capsys
+    ):
+        code = main(
+            ["attack", "silent", "--n", "8", "--t", "4", "--telemetry"]
+        )
+        assert code == 1
+        assert "pass --ledger PATH.worldlog" in capsys.readouterr().err
+
+    # ------------------------------------------------------------------
+    # telemetry recording end to end
+    # ------------------------------------------------------------------
+
+    def test_attack_telemetry_records_snapshots(self, tmp_path, capsys):
+        log_path = self._attack_into_worldlog(
+            tmp_path, "--telemetry", "--telemetry-interval", "0.001"
+        )
+        capsys.readouterr()
+        from repro.worldlog import read_worldlog
+
+        snaps = [
+            record
+            for record in read_worldlog(log_path)
+            if record.kind == "telemetry.snapshot"
+        ]
+        assert snaps
+        assert snaps[-1].payload["source"] == "attack"
+
+    # ------------------------------------------------------------------
+    # log tail
+    # ------------------------------------------------------------------
+
+    def test_log_tail_prints_record_lines(self, tmp_path, capsys):
+        log_path = self._attack_into_worldlog(tmp_path)
+        capsys.readouterr()
+        assert main(["log", "tail", log_path]) == 0
+        out = capsys.readouterr().out
+        assert "log.open" in out
+        assert "checkpoint" in out
+
+    def test_log_tail_missing_file_is_an_environment_failure(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["log", "tail", str(tmp_path / "missing.worldlog")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_log_tail_follow_stops_after_max_polls(
+        self, tmp_path, capsys
+    ):
+        log_path = self._attack_into_worldlog(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["log", "tail", log_path, "--follow",
+             "--interval", "0.001", "--max-polls", "3"]
+        )
+        assert code == 0
+        assert "log.open" in capsys.readouterr().out
+
+    # ------------------------------------------------------------------
+    # export adapters over the committed golden fixture
+    # ------------------------------------------------------------------
+
+    def test_metrics_export_prometheus(self, capsys):
+        assert (
+            main(["metrics", "export", self.GOLDEN, "--format", "prom"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_round_total counter" in out
+        assert "repro_span_attack_seconds_count 1" in out
+
+    def test_metrics_export_to_a_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "metrics.prom")
+        assert (
+            main(["metrics", "export", self.GOLDEN, "--out", out_path])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "metrics exposition written to" in captured.err
+        assert captured.out == ""
+        with open(out_path, encoding="utf-8") as handle:
+            assert "repro_engine_round_total" in handle.read()
+
+    def test_trace_chrome_format(self, capsys):
+        import json
+
+        assert (
+            main(["trace", self.GOLDEN, "--format", "chrome"]) == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["displayTimeUnit"] == "ms"
+        assert any(
+            entry["ph"] == "B" for entry in document["traceEvents"]
+        )
+
+    # ------------------------------------------------------------------
+    # top / status
+    # ------------------------------------------------------------------
+
+    def test_top_log_mode_once_renders_to_stderr(
+        self, tmp_path, capsys
+    ):
+        log_path = self._attack_into_worldlog(
+            tmp_path, "--telemetry", "--telemetry-interval", "0.001"
+        )
+        capsys.readouterr()
+        assert main(["top", "--log", log_path, "--once"]) == 0
+        captured = capsys.readouterr()
+        # Dashboard frames are diagnostics: stderr, never stdout.
+        assert captured.out == ""
+        assert "record(s)" in captured.err
+        assert "telemetry" in captured.err
+        assert "rounds" in captured.err
+
+    @pytest.fixture
+    def service(self):
+        """A live in-thread job server on a short /tmp socket path."""
+        import shutil
+        import tempfile
+        import threading
+
+        from repro.service import JobServer
+
+        scratch = tempfile.mkdtemp(prefix="rtop", dir="/tmp")
+        sock = os.path.join(scratch, "s.sock")
+        log = os.path.join(scratch, "log.worldlog")
+        server = JobServer(log_path=log, socket_path=sock, jobs=2)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        assert server.ready.wait(timeout=30)
+        try:
+            yield sock, log
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=60)
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def test_status_renders_the_fold(self, service, capsys):
+        sock, _ = service
+        assert main(["status", "--socket", sock]) == 0
+        out = capsys.readouterr().out
+        assert "server run" in out
+        assert "0/2 busy" in out
+
+    def test_status_json_is_the_raw_frame(self, service, capsys):
+        import json
+
+        sock, _ = service
+        assert main(["status", "--socket", sock, "--json"]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["ok"] is True
+        assert frame["workers"]["total"] == 2
+
+    def test_top_socket_mode_once(self, service, capsys):
+        sock, _ = service
+        assert main(["top", "--socket", sock, "--once"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0/2 busy" in captured.err
+
+    def test_status_against_a_dead_socket_is_exit_2(self, capsys):
+        code = main(
+            ["status", "--socket", "/tmp/no-such-service.sock"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -17,7 +17,9 @@ import repro.certify.verifier
 import repro.lowerbound.bound
 import repro.obs.bench
 import repro.obs.ledger
+import repro.obs.export
 import repro.obs.metrics
+import repro.obs.telemetry
 import repro.service.protocol
 import repro.service.queue
 import repro.service.quota
@@ -31,7 +33,9 @@ DOCUMENTED_MODULES = [
     repro.lowerbound.bound,
     repro.obs.bench,
     repro.obs.ledger,
+    repro.obs.export,
     repro.obs.metrics,
+    repro.obs.telemetry,
     repro.service.protocol,
     repro.service.queue,
     repro.service.quota,

@@ -275,3 +275,89 @@ class TestLogStats:
         marks = document["percentiles"]["messages"]
         assert marks["max"] == 4
         assert marks["p50"] == 2
+
+
+class TestSelectRecordsStreaming:
+    """``tail`` must stream: a bounded deque, not a materialized list."""
+
+    def test_tail_over_a_lazy_source_keeps_only_the_window(self):
+        count = 200_000
+
+        def source():
+            for tick in range(count):
+                yield Record(tick=tick, kind="trend.point",
+                             payload={"i": tick}, run_id="r")
+
+        tail = select_records(source(), tail=5)
+        assert [record.payload["i"] for record in tail] == [
+            count - 5, count - 4, count - 3, count - 2, count - 1,
+        ]
+
+    def test_tail_composes_with_filters_over_a_generator(self):
+        def source():
+            for tick in range(1000):
+                kind = "ledger.event" if tick % 2 else "trend.point"
+                yield Record(tick=tick, kind=kind, payload={},
+                             run_id="r")
+
+        tail = select_records(source(), kinds=["ledger.event"], tail=3)
+        assert [record.tick for record in tail] == [995, 997, 999]
+
+    def test_tail_larger_than_the_log_keeps_everything(self):
+        records = [
+            Record(tick=tick, kind="trend.point", payload={})
+            for tick in range(4)
+        ]
+        assert select_records(iter(records), tail=100) == records
+        assert select_records(iter(records), tail=0) == []
+
+
+class TestReplayStateTelemetry:
+    """Snapshots are observability-only: counted, never semantic."""
+
+    def _with_snapshots(self):
+        records = _sweep_like_records()
+        base = len(records)
+        return records + [
+            Record(tick=base, kind="telemetry.snapshot",
+                   payload={"schema": "repro.telemetry/v1", "seq": 0},
+                   run_id="r"),
+            Record(tick=base + 1, kind="telemetry.snapshot",
+                   payload={"schema": "repro.telemetry/v1", "seq": 1,
+                            "cache_hit_rate": 0.5},
+                   run_id="r"),
+        ]
+
+    def test_snapshots_counted_and_latest_kept(self):
+        state = replay_state(self._with_snapshots())
+        assert state.telemetry_snapshots == 2
+        assert state.last_telemetry["seq"] == 1
+        assert state.last_telemetry["cache_hit_rate"] == 0.5
+
+    def test_snapshots_touch_nothing_semantic(self):
+        records = self._with_snapshots()
+        plain = replay_state(records[:-2])
+        twin = replay_state(records)
+        twin.telemetry_snapshots = 0
+        twin.last_telemetry = None
+        # Position/tick/kind_counts differ by construction; everything
+        # semantic must not.
+        twin.position = plain.position
+        twin.tick = plain.tick
+        twin.kind_counts = plain.kind_counts
+        assert twin == plain
+
+    def test_clone_preserves_telemetry_fields(self):
+        state = replay_state(self._with_snapshots())
+        clone = state.clone()
+        assert clone.telemetry_snapshots == 2
+        assert clone.last_telemetry == state.last_telemetry
+        clone.last_telemetry["seq"] = 99
+        assert state.last_telemetry["seq"] == 1  # deep-enough copy
+
+    def test_render_state_mentions_telemetry(self):
+        from repro.worldlog.replay import render_state
+
+        state = replay_state(self._with_snapshots())
+        rendered = render_state(state)
+        assert "telemetry: 2 snapshot(s), last seq 1" in rendered

@@ -237,3 +237,75 @@ class TestReadRecordsUnification:
         assert read_records(str(path)) == [record]
         with pytest.raises(ArtifactError):
             read_worldlog(str(path))
+
+
+class TestLogTailer:
+    """The incremental reader behind ``log tail --follow`` and ``top``."""
+
+    def test_polls_see_only_newly_appended_records(self, tmp_path):
+        from repro.worldlog import LogTailer
+
+        path = str(tmp_path / "run.worldlog")
+        log = WorldLog.create(path, run_id="r")
+        tailer = LogTailer(path)
+        first = tailer.poll()
+        assert [record.kind for record in first] == ["log.open"]
+        assert tailer.poll() == []  # nothing new
+        log.append("trend.point", {"label": "x"})
+        log.append("trend.point", {"label": "y"})
+        batch = [record.payload["label"] for record in tailer.poll()]
+        assert batch == ["x", "y"]
+        assert tailer.poll() == []
+        log.close()
+
+    def test_torn_tail_buffered_until_the_line_completes(self, tmp_path):
+        from repro.worldlog import LogTailer
+
+        path = str(tmp_path / "run.worldlog")
+        WorldLog.create(path, run_id="r").close()
+        tailer = LogTailer(path)
+        tailer.poll()
+        record = Record(tick=1, kind="trend.point", payload={"a": 1})
+        line = record.to_json() + "\n"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line[:10])  # mid-write: no newline yet
+        assert tailer.poll() == []  # buffered, not parsed
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line[10:])
+        assert tailer.poll() == [record]
+
+    def test_writer_resume_does_not_duplicate_records(self, tmp_path):
+        from repro.worldlog import LogTailer
+
+        path = str(tmp_path / "run.worldlog")
+        with WorldLog.create(path, run_id="r") as log:
+            log.append("trend.point", {"label": "x"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"tick": 2, "kind": "cell.re')  # killed writer
+        tailer = LogTailer(path)
+        seen = tailer.poll()
+        assert len(seen) == 2  # header + point; torn tail buffered
+        # Resume rewrites the file (drops the torn tail), shrinking it
+        # below the tailer's offset, then appends a fresh record.
+        with WorldLog.resume(path) as log:
+            log.append("trend.point", {"label": "y"})
+        fresh = tailer.poll()
+        assert [record.payload for record in fresh] == [{"label": "y"}]
+
+    def test_malformed_complete_line_raises_with_location(self, tmp_path):
+        from repro.worldlog import LogTailer
+
+        path = str(tmp_path / "run.worldlog")
+        WorldLog.create(path, run_id="r").close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        tailer = LogTailer(path)
+        with pytest.raises(ArtifactError) as excinfo:
+            tailer.poll()
+        assert f"{path}:2: not a world-log record" in str(excinfo.value)
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        from repro.worldlog import LogTailer
+
+        tailer = LogTailer(str(tmp_path / "not-yet.worldlog"))
+        assert tailer.poll() == []
